@@ -1,0 +1,427 @@
+// Package olive's benchmark harness regenerates every table and figure of
+// the paper's evaluation (§IV) and benchmarks the ablations called out in
+// DESIGN.md §6. Each benchmark prints the same rows/series the paper
+// reports (via b.Log) while testing.B measures the end-to-end runtime of
+// the experiment at smoke scale.
+//
+// Scale: benches default to SmokeScale (~100× fewer requests than
+// Table III) so the full suite completes in minutes on a laptop. Set
+// OLIVE_BENCH_SCALE=paper to run the full 30-rep × 6000-slot experiments
+// (hours). cmd/vnesim exposes the same experiments with finer control.
+package olive_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/olive-vne/olive/internal/core"
+	"github.com/olive-vne/olive/internal/plan"
+	"github.com/olive-vne/olive/internal/sim"
+	"github.com/olive-vne/olive/internal/topo"
+)
+
+func benchScale() sim.Scale {
+	if os.Getenv("OLIVE_BENCH_SCALE") == "paper" {
+		return sim.PaperScale()
+	}
+	s := sim.SmokeScale()
+	s.Reps = 1 // testing.B supplies repetition; keep each iter lean
+	return s
+}
+
+func logTable(b *testing.B, t *sim.Table) {
+	b.Helper()
+	var sb strings.Builder
+	t.Fprint(&sb)
+	b.Log("\n" + sb.String())
+}
+
+// BenchmarkTable2Topologies regenerates Table II (topology inventory).
+func BenchmarkTable2Topologies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sim.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+// BenchmarkFig6RejectionRate regenerates Fig. 6: rejection rate vs
+// utilization, all four topologies, OLIVE vs QUICKG vs SLOTOFF.
+func BenchmarkFig6RejectionRate(b *testing.B) {
+	s := benchScale()
+	for _, t := range topo.All() {
+		b.Run(string(t), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rej, _, err := sim.Fig6And7(t, s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					logTable(b, rej)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7Cost regenerates Fig. 7: total cost vs utilization (the
+// same runs as Fig. 6; reported separately as in the paper).
+func BenchmarkFig7Cost(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		_, cost, err := sim.Fig6And7(topo.Iris, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, cost)
+		}
+	}
+}
+
+// BenchmarkFig8BurstZoom regenerates Fig. 8: per-slot allocated demand
+// during bursts, Iris @140%.
+func BenchmarkFig8BurstZoom(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		t, err := sim.Fig8(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+// BenchmarkFig9AppTypes regenerates Fig. 9: rejection by application type
+// (including the FULLG reference).
+func BenchmarkFig9AppTypes(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		t, err := sim.Fig9(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+// BenchmarkFig10GPU regenerates Fig. 10: the GPU scenario.
+func BenchmarkFig10GPU(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		t, err := sim.Fig10(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+// BenchmarkFig11Quantiles regenerates Fig. 11: rejection balance index vs
+// quantile count — also the quantile ablation of DESIGN.md §6.
+func BenchmarkFig11Quantiles(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		t, err := sim.Fig11(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+// BenchmarkFig12NodeDetail regenerates Fig. 12: per-application guaranteed
+// vs borrowed vs preempted allocations at the Franklin node.
+func BenchmarkFig12NodeDetail(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		t, err := sim.Fig12(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+// BenchmarkFig13PlanDeviation regenerates Fig. 13: plans built for 60%
+// and 100% demand running at 140%.
+func BenchmarkFig13PlanDeviation(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		t, err := sim.Fig13(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+// BenchmarkFig14ShiftedPlan regenerates Fig. 14: the plan built from a
+// spatially shuffled history.
+func BenchmarkFig14ShiftedPlan(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rej, cost, err := sim.Fig14(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, rej)
+			logTable(b, cost)
+		}
+	}
+}
+
+// BenchmarkFig15CAIDA regenerates Fig. 15: the CAIDA-like trace.
+func BenchmarkFig15CAIDA(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rej, cost, err := sim.Fig15(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, rej)
+			logTable(b, cost)
+		}
+	}
+}
+
+// BenchmarkFig16aArrivalRate regenerates Fig. 16a: runtime vs arrival
+// rate at fixed utilization.
+func BenchmarkFig16aArrivalRate(b *testing.B) {
+	s := benchScale()
+	lambdas := []float64{2, 4, 8}
+	if os.Getenv("OLIVE_BENCH_SCALE") == "paper" {
+		lambdas = []float64{5, 10, 20, 40}
+	}
+	for i := 0; i < b.N; i++ {
+		t, err := sim.Fig16a(s, lambdas)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+// BenchmarkFig16Runtime regenerates Figs. 16b–e: runtime vs utilization
+// per topology.
+func BenchmarkFig16Runtime(b *testing.B) {
+	s := benchScale()
+	for _, t := range topo.All() {
+		b.Run(string(t), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tbl, err := sim.Fig16Runtime(t, s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					logTable(b, tbl)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ---
+
+func ablationConfig(seed uint64) sim.Config {
+	cfg := sim.QuickConfig(topo.Iris, 1.4, seed)
+	cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE}
+	return cfg
+}
+
+// BenchmarkAblationColumnGen compares the plan LP solved with column
+// generation against seed (collocated-only) columns.
+func BenchmarkAblationColumnGen(b *testing.B) {
+	for _, pricing := range []int{0, 8} {
+		name := "seed-only"
+		if pricing > 0 {
+			name = "priced"
+		}
+		b.Run(name, func(b *testing.B) {
+			var lastRej float64
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig(uint64(i + 1))
+				cfg.PlanOptions.MaxPricingRounds = pricing
+				rr, err := sim.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastRej = rr.Results[core.AlgoOLIVE].RejectionRate
+			}
+			b.ReportMetric(lastRej, "rejection")
+		})
+	}
+}
+
+// BenchmarkAblationPreemption measures OLIVE with PREEMPT disabled.
+func BenchmarkAblationPreemption(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "preempt-on"
+		if disable {
+			name = "preempt-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var lastRej float64
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig(uint64(i + 1))
+				cfg.EngineOptions.DisablePreemption = disable
+				rr, err := sim.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastRej = rr.Results[core.AlgoOLIVE].RejectionRate
+			}
+			b.ReportMetric(lastRej, "rejection")
+		})
+	}
+}
+
+// BenchmarkAblationBorrowing measures OLIVE with the partial-fit
+// (borrowing) mechanism disabled.
+func BenchmarkAblationBorrowing(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "borrow-on"
+		if disable {
+			name = "borrow-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var lastRej float64
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig(uint64(i + 1))
+				cfg.EngineOptions.DisableBorrowing = disable
+				rr, err := sim.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastRej = rr.Results[core.AlgoOLIVE].RejectionRate
+			}
+			b.ReportMetric(lastRej, "rejection")
+		})
+	}
+}
+
+// BenchmarkAblationPercentile compares P̂80 aggregation against full-peak
+// P̂100 planning (the paper argues P80 avoids over-provisioning).
+func BenchmarkAblationPercentile(b *testing.B) {
+	for _, alpha := range []float64{0.8, 1.0} {
+		name := "P80"
+		if alpha == 1.0 {
+			name = "P100"
+		}
+		b.Run(name, func(b *testing.B) {
+			var lastRej float64
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig(uint64(i + 1))
+				cfg.PlanOptions.Alpha = alpha
+				rr, err := sim.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastRej = rr.Results[core.AlgoOLIVE].RejectionRate
+			}
+			b.ReportMetric(lastRej, "rejection")
+		})
+	}
+}
+
+// --- Micro-benchmarks of the core machinery ---
+
+// BenchmarkPlanBuild measures PLAN-VNE construction alone (§IV-B notes
+// the planning phase is solved once and scales independently of the
+// request rate).
+func BenchmarkPlanBuild(b *testing.B) {
+	cfg := sim.QuickConfig(topo.Iris, 1.0, 1)
+	cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE}
+	rr, err := sim.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	classes := make([]plan.Class, len(rr.Plan.Classes))
+	for i, cp := range rr.Plan.Classes {
+		classes[i] = cp.Class
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Build(rr.Substrate, rr.Apps, classes, plan.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlinePerRequest measures OLIVE's per-request processing rate —
+// the paper's scalability headline (≥1000 requests/s per slot).
+func BenchmarkOnlinePerRequest(b *testing.B) {
+	cfg := sim.QuickConfig(topo.Random100, 1.0, 1)
+	cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE}
+	rr, err := sim.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	requests := 0
+	for _, rec := range rr.Results[core.AlgoOLIVE].Log {
+		_ = rec
+		requests++
+	}
+	if requests == 0 {
+		b.Fatal("no requests processed")
+	}
+	perReq := rr.Results[core.AlgoOLIVE].Runtime.Seconds() / float64(requests)
+	b.ReportMetric(1/perReq, "req/s")
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 2)
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionTimeVaryingPlan evaluates the §VI future-work
+// extension implemented here: per-window plans on a diurnal CAIDA-like
+// trace, against a single flat plan.
+func BenchmarkExtensionTimeVaryingPlan(b *testing.B) {
+	for _, windows := range []int{1, 4} {
+		name := "flat"
+		if windows > 1 {
+			name = "windowed-4"
+		}
+		b.Run(name, func(b *testing.B) {
+			var lastRej float64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.QuickConfig(topo.Iris, 1.2, uint64(i+1))
+				cfg.Trace = sim.TraceCAIDA
+				cfg.DiurnalPeriod = 60
+				if windows > 1 {
+					cfg.PlanWindows = windows
+				}
+				cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE}
+				rr, err := sim.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastRej = rr.Results[core.AlgoOLIVE].RejectionRate
+			}
+			b.ReportMetric(lastRej, "rejection")
+		})
+	}
+}

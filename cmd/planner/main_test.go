@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSmallPlan(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "plan.json")
+	err := run([]string{
+		"-topo", "cittastudi", "-util", "1.0", "-slots", "60",
+		"-lambda", "2", "-save", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("saved plan is empty")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-topo", "nonsense"}); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}

@@ -1,0 +1,98 @@
+// Command topogen inspects and exports the evaluation topologies
+// (Table II / Fig. 5): a textual summary per topology and optional
+// Graphviz DOT output for rendering.
+//
+// Usage:
+//
+//	topogen -all                  # summaries of all four topologies
+//	topogen -topo iris -dot       # DOT render of Iris (Fig. 5a)
+//	topogen -topo 5gen -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/olive-vne/olive/internal/graph"
+	"github.com/olive-vne/olive/internal/topo"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	name := fs.String("topo", "", "topology: iris, cittastudi, 5gen, 100n150e")
+	all := fs.Bool("all", false, "summarize all four topologies")
+	dot := fs.Bool("dot", false, "emit Graphviz DOT instead of a summary")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*all && *name == "" {
+		return fmt.Errorf("need -topo <name> or -all")
+	}
+	names := topo.All()
+	if !*all {
+		names = []topo.Name{topo.Name(*name)}
+	}
+	for _, n := range names {
+		g, err := topo.Build(n, *seed)
+		if err != nil {
+			return err
+		}
+		if *dot {
+			writeDOT(os.Stdout, n, g)
+		} else {
+			summarize(os.Stdout, n, g)
+		}
+	}
+	return nil
+}
+
+func summarize(w *os.File, name topo.Name, g *graph.Graph) {
+	spec := topo.Specs()[name]
+	fmt.Fprintf(w, "%s: %d nodes, %d links — %s\n", name, g.NumNodes(), g.NumLinks(), spec.Description)
+	for _, tier := range []graph.Tier{graph.TierEdge, graph.TierTransport, graph.TierCore} {
+		nodes := g.NodesByTier(tier)
+		var capSum, costSum float64
+		for _, id := range nodes {
+			capSum += g.Node(id).Cap
+			costSum += g.Node(id).Cost
+		}
+		if len(nodes) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-9s %3d nodes, %11.0f CU total, mean cost %.1f/CU\n",
+			tier, len(nodes), capSum, costSum/float64(len(nodes)))
+	}
+	degSum := 0
+	for _, n := range g.Nodes() {
+		degSum += g.Degree(n.ID)
+	}
+	fmt.Fprintf(w, "  mean degree %.2f\n\n", float64(degSum)/float64(g.NumNodes()))
+}
+
+// writeDOT emits a Graphviz rendering in the style of Fig. 5: edge nodes
+// blue, transport green, core red.
+func writeDOT(w *os.File, name topo.Name, g *graph.Graph) {
+	fmt.Fprintf(w, "graph %q {\n  layout=neato;\n  node [style=filled fontsize=8];\n", name)
+	colors := map[graph.Tier]string{
+		graph.TierEdge:      "#7fb3ff",
+		graph.TierTransport: "#7fdf9f",
+		graph.TierCore:      "#ff8f7f",
+	}
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(w, "  n%d [label=%q fillcolor=%q pos=\"%.2f,%.2f!\"];\n",
+			n.ID, n.Name, colors[n.Tier], n.X, n.Y)
+	}
+	for _, l := range g.Links() {
+		fmt.Fprintf(w, "  n%d -- n%d;\n", l.From, l.To)
+	}
+	fmt.Fprintln(w, "}")
+}

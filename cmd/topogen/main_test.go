@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSummaries(t *testing.T) {
+	if err := run([]string{"-all"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-topo", "iris", "-dot"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -topo accepted")
+	}
+	if err := run([]string{"-topo", "nonsense"}); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}

@@ -1,0 +1,201 @@
+// Command vnesim regenerates the paper's experiments. Each experiment
+// prints the rows/series the corresponding figure or table reports.
+//
+// Usage:
+//
+//	vnesim -exp fig6 -topo iris -scale smoke
+//	vnesim -exp all -scale smoke
+//	vnesim -exp fig16a -scale paper
+//
+// Experiments: table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+// fig14 fig15 fig16a fig16 all. Scales: smoke (minutes) and paper
+// (Table III: 30 reps × 6000 slots — hours).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/olive-vne/olive/internal/sim"
+	"github.com/olive-vne/olive/internal/topo"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vnesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vnesim", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment: table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16a fig16 all")
+	topoFlag := fs.String("topo", "", "topology for fig6/fig7/fig16 (iris, cittastudi, 5gen, 100n150e); empty = all four")
+	scaleFlag := fs.String("scale", "smoke", "experiment scale: smoke or paper")
+	reps := fs.Int("reps", 0, "override repetition count")
+	seed := fs.Uint64("seed", 0, "override base seed")
+	utils := fs.String("utils", "", "override utilization sweep, e.g. 0.6,1.0,1.4")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scale sim.Scale
+	switch *scaleFlag {
+	case "smoke":
+		scale = sim.SmokeScale()
+	case "paper":
+		scale = sim.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleFlag)
+	}
+	if *reps > 0 {
+		scale.Reps = *reps
+	}
+	if *seed > 0 {
+		scale.Seed = *seed
+	}
+	if *utils != "" {
+		scale.Utils = nil
+		for _, tok := range strings.Split(*utils, ",") {
+			u, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				return fmt.Errorf("bad -utils entry %q: %w", tok, err)
+			}
+			scale.Utils = append(scale.Utils, u)
+		}
+	}
+
+	topos := topo.All()
+	if *topoFlag != "" {
+		topos = []topo.Name{topo.Name(*topoFlag)}
+		if _, ok := topo.Specs()[topos[0]]; !ok {
+			return fmt.Errorf("unknown topology %q", *topoFlag)
+		}
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("table2") {
+		ran = true
+		t, err := sim.Table2()
+		if err != nil {
+			return err
+		}
+		t.Fprint(os.Stdout)
+	}
+	if want("table3") {
+		ran = true
+		sim.Table3().Fprint(os.Stdout)
+	}
+	if want("fig6") || want("fig7") {
+		ran = true
+		for _, tn := range topos {
+			rej, cost, err := sim.Fig6And7(tn, scale)
+			if err != nil {
+				return err
+			}
+			if want("fig6") || *exp == "all" {
+				rej.Fprint(os.Stdout)
+			}
+			if want("fig7") || *exp == "all" {
+				cost.Fprint(os.Stdout)
+			}
+		}
+	}
+	if want("fig8") {
+		ran = true
+		t, err := sim.Fig8(scale)
+		if err != nil {
+			return err
+		}
+		t.Fprint(os.Stdout)
+	}
+	if want("fig9") {
+		ran = true
+		t, err := sim.Fig9(scale)
+		if err != nil {
+			return err
+		}
+		t.Fprint(os.Stdout)
+	}
+	if want("fig10") {
+		ran = true
+		t, err := sim.Fig10(scale)
+		if err != nil {
+			return err
+		}
+		t.Fprint(os.Stdout)
+	}
+	if want("fig11") {
+		ran = true
+		t, err := sim.Fig11(scale)
+		if err != nil {
+			return err
+		}
+		t.Fprint(os.Stdout)
+	}
+	if want("fig12") {
+		ran = true
+		t, err := sim.Fig12(scale)
+		if err != nil {
+			return err
+		}
+		t.Fprint(os.Stdout)
+	}
+	if want("fig13") {
+		ran = true
+		t, err := sim.Fig13(scale)
+		if err != nil {
+			return err
+		}
+		t.Fprint(os.Stdout)
+	}
+	if want("fig14") {
+		ran = true
+		rej, cost, err := sim.Fig14(scale)
+		if err != nil {
+			return err
+		}
+		rej.Fprint(os.Stdout)
+		cost.Fprint(os.Stdout)
+	}
+	if want("fig15") {
+		ran = true
+		rej, cost, err := sim.Fig15(scale)
+		if err != nil {
+			return err
+		}
+		rej.Fprint(os.Stdout)
+		cost.Fprint(os.Stdout)
+	}
+	if want("fig16a") {
+		ran = true
+		lambdas := []float64{2, 4, 8}
+		if *scaleFlag == "paper" {
+			lambdas = []float64{5, 10, 20, 40}
+		}
+		t, err := sim.Fig16a(scale, lambdas)
+		if err != nil {
+			return err
+		}
+		t.Fprint(os.Stdout)
+	}
+	if want("fig16") {
+		ran = true
+		for _, tn := range topos {
+			t, err := sim.Fig16Runtime(tn, scale)
+			if err != nil {
+				return err
+			}
+			t.Fprint(os.Stdout)
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunTables(t *testing.T) {
+	if err := run([]string{"-exp", "table2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "table3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-exp", "nonsense"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-scale", "nonsense"}); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run([]string{"-exp", "fig6", "-topo", "nonsense"}); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run([]string{"-exp", "fig6", "-utils", "abc"}); err == nil {
+		t.Error("bad utils accepted")
+	}
+}

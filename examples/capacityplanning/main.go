@@ -1,0 +1,115 @@
+// Capacity planning: use PLAN-VNE as a standalone what-if tool. The plan's
+// per-class rejected fractions tell an edge provider exactly where and for
+// whom capacity runs out before a single live request is served — and how
+// the answer changes as demand grows or the quantile knob is turned.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	olive "github.com/olive-vne/olive"
+)
+
+func main() {
+	g := olive.BuildTopology(olive.TopoCittaStudi, 1)
+	rng := rand.New(rand.NewPCG(11, 11))
+	apps := olive.DefaultAppMix(rng)
+
+	// One shared history at 100% utilization; what-if demand growth is
+	// modeled by scaling the aggregated class demands.
+	wp := olive.DefaultWorkload().WithUtilization(1.0)
+	wp.Slots = 400
+	wp.LambdaPerNode = 5
+	wp.DemandMean = 100.0 / wp.LambdaPerNode
+	hist, err := olive.GenerateMMPP(g, wp, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := olive.DefaultPlanOptions()
+	classes, err := olive.AggregateHistory(hist, len(apps), opts.Alpha, opts.BootstrapB, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("history: %d requests → %d (app, ingress) classes\n\n",
+		len(hist.Requests), len(classes))
+
+	// What-if sweep: how much demand does the optimal plan reject as
+	// aggregate demand grows?
+	fmt.Println("demand growth what-if (optimal offline plan):")
+	fmt.Printf("%-8s %-12s %-12s %-10s\n", "growth", "planned", "rejected", "balance")
+	for _, growth := range []float64{0.8, 1.0, 1.2, 1.5, 2.0} {
+		scaled := make([]olive.PlanClass, len(classes))
+		for i, c := range classes {
+			c.Demand *= growth
+			scaled[i] = c
+		}
+		p, err := olive.BuildPlanFromClasses(g, apps, scaled, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var planned, rejected, total float64
+		for _, cp := range p.Classes {
+			total += cp.Class.Demand
+			planned += cp.PlannedDemand()
+			rejected += cp.Rejected * cp.Class.Demand
+		}
+		fmt.Printf("%-8s %6.1f%%      %6.1f%%      %.3f\n",
+			fmt.Sprintf("×%.1f", growth),
+			100*planned/total, 100*rejected/total, p.RejectionBalance())
+	}
+
+	// Where does capacity run out first? Rank ingress nodes by rejected
+	// demand at ×1.5 growth.
+	scaled := make([]olive.PlanClass, len(classes))
+	for i, c := range classes {
+		c.Demand *= 1.5
+		scaled[i] = c
+	}
+	p, err := olive.BuildPlanFromClasses(g, apps, scaled, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rejAt := map[olive.NodeID]float64{}
+	for _, cp := range p.Classes {
+		rejAt[cp.Class.Ingress] += cp.Rejected * cp.Class.Demand
+	}
+	fmt.Println("\nhotspots at ×1.5 demand (rejected demand by ingress):")
+	printed := 0
+	for printed < 5 {
+		var best olive.NodeID = -1
+		for v, r := range rejAt {
+			if best < 0 || r > rejAt[best] {
+				best = v
+			}
+		}
+		if best < 0 || rejAt[best] <= 0 {
+			break
+		}
+		fmt.Printf("  %-12s %8.0f demand units rejected\n", g.Node(best).Name, rejAt[best])
+		delete(rejAt, best)
+		printed++
+	}
+
+	// Where is the substrate tightest? Top planned-element utilizations.
+	fmt.Println("\ntightest substrate elements at ×1.5 demand:")
+	for i, eu := range p.UtilizationReport(g) {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %-24s %5.1f%% of %8.0f CU\n", eu.Name, eu.Frac*100, eu.Cap)
+	}
+
+	// Quantile ablation: fairness of the rejection split.
+	fmt.Println("\nquantile knob at ×1.5 demand:")
+	for _, q := range []int{1, 2, 10, 50} {
+		o := opts
+		o.Quantiles = q
+		p, err := olive.BuildPlanFromClasses(g, apps, scaled, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  P=%-3d balance index %.3f\n", q, p.RejectionBalance())
+	}
+}

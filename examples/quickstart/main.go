@@ -1,0 +1,82 @@
+// Quickstart: the minimal end-to-end OLIVE flow on a realistic topology —
+// generate a workload history, build the PLAN-VNE embedding plan offline,
+// then embed live requests online and compare against the plan-less
+// greedy (QUICKG).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	olive "github.com/olive-vne/olive"
+)
+
+func main() {
+	// 1. Substrate: the Città Studi edge network (30 nodes, 3 tiers).
+	g := olive.BuildTopology(olive.TopoCittaStudi, 1)
+	rng := rand.New(rand.NewPCG(42, 42))
+
+	// 2. Applications: the paper's mix — two service chains, a
+	//    two-branch tree, and an accelerator chain.
+	apps := olive.DefaultAppMix(rng)
+	for _, a := range apps {
+		fmt.Printf("app %-12s kind=%-5s VNFs=%d node-size=%.0f CU/unit\n",
+			a.Name, a.Kind, a.FunctionalVNFs(), a.TotalNodeSize())
+	}
+
+	// 3. Workload at 120% edge utilization: bursty MMPP arrivals with
+	//    Zipf node popularity. 400 slots of history + 100 slots live.
+	wp := olive.DefaultWorkload().WithUtilization(1.2)
+	wp.Slots = 500
+	wp.LambdaPerNode = 5
+	wp.DemandMean = 1.2 * 100 / wp.LambdaPerNode // utilization calibration
+	trace, err := olive.GenerateMMPP(g, wp, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hist, online, err := trace.Split(400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nworkload: %d history + %d online requests\n",
+		len(hist.Requests), len(online.Requests))
+
+	// 4. Offline: aggregate the history into (app, ingress) classes and
+	//    solve PLAN-VNE.
+	p, err := olive.BuildPlan(g, apps, hist, olive.DefaultPlanOptions(), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %d classes, objective %.4g, balance %.2f\n\n",
+		len(p.Classes), p.Obj, p.RejectionBalance())
+
+	// 5. Online: OLIVE (plan-guided) vs QUICKG (plan-less greedy).
+	for _, opts := range []olive.EngineOptions{{Plan: p}, {}} {
+		eng, err := olive.NewEngine(g, apps, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var accepted, planned, preempted, total int
+		for t, slot := range online.PerSlot() {
+			eng.StartSlot(t)
+			for _, r := range slot {
+				out, err := eng.Process(r)
+				if err != nil {
+					log.Fatal(err)
+				}
+				total++
+				if out.Accepted {
+					accepted++
+				}
+				if out.Planned {
+					planned++
+				}
+				preempted += len(out.Preempted)
+			}
+		}
+		fmt.Printf("%-7s accepted %4d/%4d (%.1f%% rejected)  planned=%d preemptions=%d\n",
+			eng.Algorithm(), accepted, total,
+			100*float64(total-accepted)/float64(total), planned, preempted)
+	}
+}

@@ -1,0 +1,563 @@
+// Package core implements the online half of the paper's contribution:
+// the OLIVE algorithm (Algorithm 2) — plan-guided online embedding with
+// capacity borrowing, preemption of borrowed allocations, and a collocated
+// greedy fallback — together with the evaluated baselines QUICKG (OLIVE
+// with an empty plan), FULLG (exact per-request embedding) and SLOTOFF
+// (per-slot offline re-optimization, §IV-A).
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/olive-vne/olive/internal/embedder"
+	"github.com/olive-vne/olive/internal/graph"
+	"github.com/olive-vne/olive/internal/plan"
+	"github.com/olive-vne/olive/internal/vnet"
+	"github.com/olive-vne/olive/internal/workload"
+)
+
+// Algorithm names one of the evaluated algorithms.
+type Algorithm string
+
+// The four algorithms of the paper's evaluation.
+const (
+	AlgoOLIVE   Algorithm = "OLIVE"
+	AlgoQuickG  Algorithm = "QUICKG"
+	AlgoFullG   Algorithm = "FULLG"
+	AlgoSlotOff Algorithm = "SLOTOFF"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Plan is the PLAN-VNE embedding plan. A nil or empty plan turns
+	// the engine into the QUICKG baseline (pure greedy).
+	Plan *plan.Plan
+	// Exact switches the fallback embedder from the collocated greedy
+	// (GREEDYEMBED, §III-C) to the exact per-request DP — the FULLG
+	// baseline. FULLG omits the collocation restriction.
+	Exact bool
+	// DisableBorrowing turns off the partial-fit mechanism (Alg. 2
+	// line 27): requests that do not fully fit their class's residual
+	// plan go straight to the greedy fallback. Ablation only.
+	DisableBorrowing bool
+	// DisablePreemption turns off PREEMPT (Alg. 2 line 35). Ablation
+	// only.
+	DisablePreemption bool
+	// MaxExactRetries bounds FULLG's capacity branch-out (retries with
+	// saturated elements excluded). Zero selects the default.
+	MaxExactRetries int
+}
+
+const defaultExactRetries = 6
+
+// Outcome reports the processing result for one request.
+type Outcome struct {
+	// Accepted is true if the request was embedded.
+	Accepted bool
+	// Planned is true if the allocation came fully out of the residual
+	// plan (a "guaranteed" allocation in Fig. 12's terms). Borrowed
+	// (partial-fit) and greedy allocations have Planned == false.
+	Planned bool
+	// Emb is the chosen embedding (nil when rejected).
+	Emb *vnet.Embedding
+	// Preempted lists request IDs preempted to make room.
+	Preempted []int
+}
+
+// Engine processes online requests against a substrate, optionally guided
+// by a plan (OLIVE) — Algorithm 2 of the paper.
+type Engine struct {
+	g    *graph.Graph
+	apps []*vnet.App
+	opts Options
+
+	res      []float64 // substrate residual, Res(S,t,x) of Eq. 16
+	oracle   *embedder.Oracle
+	prices   embedder.Prices
+	shareRes [][]float64 // residual plan per class per share, Eq. 17
+
+	active  map[int]*activeReq
+	depHeap departureHeap
+	now     int
+}
+
+type activeReq struct {
+	req      workload.Request
+	emb      *vnet.Embedding
+	planned  bool
+	classIdx int // -1 for non-planned
+	shareIdx int
+}
+
+type departure struct {
+	slot int
+	id   int
+}
+
+type departureHeap []departure
+
+func (h departureHeap) Len() int            { return len(h) }
+func (h departureHeap) Less(i, j int) bool  { return h[i].slot < h[j].slot }
+func (h departureHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *departureHeap) Push(x interface{}) { *h = append(*h, x.(departure)) }
+func (h *departureHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	d := old[n-1]
+	*h = old[:n-1]
+	return d
+}
+
+// NewEngine builds an engine over a fresh copy of the substrate's
+// capacities.
+func NewEngine(g *graph.Graph, apps []*vnet.App, opts Options) (*Engine, error) {
+	if g == nil || len(apps) == 0 {
+		return nil, errors.New("core: engine needs a substrate and applications")
+	}
+	if opts.MaxExactRetries == 0 {
+		opts.MaxExactRetries = defaultExactRetries
+	}
+	e := &Engine{
+		g:      g,
+		apps:   apps,
+		opts:   opts,
+		res:    g.Capacities(),
+		prices: embedder.CostPrices(g),
+		active: make(map[int]*activeReq),
+	}
+	e.oracle = embedder.NewOracle(g, e.prices)
+	if !opts.Plan.Empty() {
+		e.shareRes = make([][]float64, len(opts.Plan.Classes))
+		for i, cp := range opts.Plan.Classes {
+			rs := make([]float64, len(cp.Shares))
+			for j, s := range cp.Shares {
+				rs[j] = s.Fraction * cp.Class.Demand
+			}
+			e.shareRes[i] = rs
+		}
+	}
+	return e, nil
+}
+
+// Algorithm returns which named algorithm this engine realizes.
+func (e *Engine) Algorithm() Algorithm {
+	switch {
+	case !e.opts.Plan.Empty():
+		return AlgoOLIVE
+	case e.opts.Exact:
+		return AlgoFullG
+	default:
+		return AlgoQuickG
+	}
+}
+
+// Residual returns the substrate residual vector (read-only view).
+func (e *Engine) Residual() []float64 { return e.res }
+
+// ActiveCount returns the number of currently embedded requests.
+func (e *Engine) ActiveCount() int { return len(e.active) }
+
+// StartSlot advances time to slot t, releasing every request that departs
+// at or before t (Alg. 2 line 5).
+func (e *Engine) StartSlot(t int) {
+	e.now = t
+	for len(e.depHeap) > 0 && e.depHeap[0].slot <= t {
+		d := heap.Pop(&e.depHeap).(departure)
+		ar, ok := e.active[d.id]
+		if !ok || ar.req.Departs() > t {
+			continue // departed earlier via preemption, or re-scheduled
+		}
+		e.release(ar)
+	}
+}
+
+func (e *Engine) release(ar *activeReq) {
+	ar.emb.Release(e.res, ar.req.Demand)
+	if ar.planned {
+		e.shareRes[ar.classIdx][ar.shareIdx] += ar.req.Demand
+	}
+	delete(e.active, ar.req.ID)
+}
+
+// Process handles one arriving request (Alg. 2 lines 6–16) and returns
+// the outcome. Requests must be fed in arrival order, interleaved with
+// StartSlot calls.
+func (e *Engine) Process(r workload.Request) (Outcome, error) {
+	if r.App < 0 || r.App >= len(e.apps) {
+		return Outcome{}, fmt.Errorf("core: request %d references app %d of %d", r.ID, r.App, len(e.apps))
+	}
+	var out Outcome
+
+	emb, planned, classIdx, shareIdx := e.planEmbed(r)
+
+	if planned && !emb.FitsResidual(e.res, r.Demand) {
+		// Borrowed capacity blocks a planned allocation: preempt
+		// non-planned requests to free it (Alg. 2 lines 8–9).
+		if !e.opts.DisablePreemption {
+			out.Preempted = e.preempt(emb, r.Demand)
+		}
+		if !emb.FitsResidual(e.res, r.Demand) {
+			// Preemption could not clear the way; treat the plan
+			// route as unavailable.
+			emb, planned = nil, false
+		}
+	}
+
+	if emb == nil {
+		emb = e.greedyEmbed(r)
+		planned = false
+	}
+
+	if emb == nil || !emb.FitsResidual(e.res, r.Demand) {
+		return out, nil // rejected (Alg. 2 line 15)
+	}
+
+	// ALLOCATE (Alg. 2 lines 18–22).
+	emb.Apply(e.res, r.Demand)
+	ar := &activeReq{req: r, emb: emb, planned: planned, classIdx: -1, shareIdx: -1}
+	if planned {
+		ar.classIdx, ar.shareIdx = classIdx, shareIdx
+		e.shareRes[classIdx][shareIdx] -= r.Demand
+	}
+	e.active[r.ID] = ar
+	heap.Push(&e.depHeap, departure{slot: r.Departs(), id: r.ID})
+	out.Accepted = true
+	out.Planned = planned
+	out.Emb = emb
+	return out, nil
+}
+
+// planEmbed implements PLANEMBED (Alg. 2 lines 23–30): full fit in the
+// residual plan ⇒ planned; otherwise a partial fit "borrows" plan capacity
+// (planned=false). Returns a nil embedding when the plan offers nothing.
+func (e *Engine) planEmbed(r workload.Request) (emb *vnet.Embedding, planned bool, classIdx, shareIdx int) {
+	if e.opts.Plan.Empty() {
+		return nil, false, -1, -1
+	}
+	ci, ok := e.opts.Plan.LookupIndex(r.App, r.Ingress)
+	if !ok {
+		return nil, false, -1, -1
+	}
+	cp := &e.opts.Plan.Classes[ci]
+	rs := e.shareRes[ci]
+
+	// Full fit: among shares with residual ≥ d, prefer one whose
+	// embedding also fits the substrate right now (avoids needless
+	// preemption); fall back to the fullest share.
+	bestFit, bestAny := -1, -1
+	for j := range cp.Shares {
+		if rs[j] < r.Demand {
+			continue
+		}
+		if bestAny < 0 || rs[j] > rs[bestAny] {
+			bestAny = j
+		}
+		if cp.Shares[j].E.FitsResidual(e.res, r.Demand) {
+			if bestFit < 0 || rs[j] > rs[bestFit] {
+				bestFit = j
+			}
+		}
+	}
+	if bestFit >= 0 {
+		return cp.Shares[bestFit].E, true, ci, bestFit
+	}
+	if bestAny >= 0 {
+		return cp.Shares[bestAny].E, true, ci, bestAny
+	}
+
+	// Partial fit (borrow): any share with positive residual whose
+	// embedding fits the substrate for the full demand (Alg. 2
+	// line 27: α·x̂ ≤ Res(y) and x̂ ≤ Res(S)).
+	if !e.opts.DisableBorrowing {
+		best := -1
+		for j := range cp.Shares {
+			if rs[j] <= 0 {
+				continue
+			}
+			if !cp.Shares[j].E.FitsResidual(e.res, r.Demand) {
+				continue
+			}
+			if best < 0 || rs[j] > rs[best] {
+				best = j
+			}
+		}
+		if best >= 0 {
+			return cp.Shares[best].E, false, -1, -1
+		}
+	}
+	return nil, false, -1, -1
+}
+
+// preempt implements PREEMPT (Alg. 2 lines 35–38): reject active
+// non-planned requests until the needed embedding fits, choosing at each
+// step the request that frees the most of the remaining deficit. Returns
+// the preempted request IDs (empty if preemption cannot help, in which
+// case nothing is preempted).
+func (e *Engine) preempt(emb *vnet.Embedding, d float64) []int {
+	// Deficit per element.
+	deficit := make(map[graph.ElementID]float64)
+	for _, u := range emb.UnitUse() {
+		if need := u.Amount*d - e.res[u.Elem]; need > 0 {
+			deficit[u.Elem] = need
+		}
+	}
+	if len(deficit) == 0 {
+		return nil
+	}
+	// Candidates: active non-planned allocations (R_DONE \ R_PLAN).
+	cands := make([]*activeReq, 0, 16)
+	for _, ar := range e.active {
+		if !ar.planned {
+			cands = append(cands, ar)
+		}
+	}
+	// Deterministic order, then greedy max-relief selection.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].req.ID < cands[j].req.ID })
+
+	var chosen []*activeReq
+	remaining := deficit
+	for len(remaining) > 0 {
+		bestIdx, bestRelief := -1, 0.0
+		for i, ar := range cands {
+			if ar == nil {
+				continue
+			}
+			var relief float64
+			for _, u := range ar.emb.UnitUse() {
+				if need, ok := remaining[u.Elem]; ok {
+					rel := u.Amount * ar.req.Demand
+					if rel > need {
+						rel = need
+					}
+					relief += rel
+				}
+			}
+			if relief > bestRelief {
+				bestRelief, bestIdx = relief, i
+			}
+		}
+		if bestIdx < 0 {
+			return nil // preemption cannot clear the deficit
+		}
+		ar := cands[bestIdx]
+		cands[bestIdx] = nil
+		chosen = append(chosen, ar)
+		next := make(map[graph.ElementID]float64, len(remaining))
+		for elem, need := range remaining {
+			var rel float64
+			for _, u := range ar.emb.UnitUse() {
+				if u.Elem == elem {
+					rel = u.Amount * ar.req.Demand
+					break
+				}
+			}
+			if need > rel {
+				next[elem] = need - rel
+			}
+		}
+		remaining = next
+	}
+	ids := make([]int, 0, len(chosen))
+	for _, ar := range chosen {
+		e.release(ar)
+		ids = append(ids, ar.req.ID)
+	}
+	return ids
+}
+
+// greedyEmbed implements GREEDYEMBED (Alg. 2 lines 31–34): the cheapest
+// feasible collocated embedding — or, for FULLG, the exact min-cost
+// embedding with iterative exclusion of saturated elements.
+func (e *Engine) greedyEmbed(r workload.Request) *vnet.Embedding {
+	app := e.apps[r.App]
+	if !e.opts.Exact {
+		emb, _, ok := e.oracle.BestCollocated(app, r.Ingress, e.res, r.Demand)
+		if !ok {
+			return nil
+		}
+		return emb
+	}
+	return e.exactEmbed(app, r)
+}
+
+// vnfNodeBan forbids placing one VNF on one node.
+type vnfNodeBan struct {
+	v vnet.VNFID
+	u graph.NodeID
+}
+
+// bbNode is one branch-and-bound search node: a set of bans plus the
+// relaxed (capacity-ignoring) min-cost embedding under them.
+type bbNode struct {
+	pairs map[vnfNodeBan]bool
+	elems map[graph.ElementID]bool
+	emb   *vnet.Embedding
+	cost  float64
+}
+
+// exactEmbed implements FULLG's per-request exact embedding as best-first
+// branch and bound. The capacity-ignoring DP is an admissible lower bound
+// (bans only raise cost), so the first feasible embedding popped is
+// cost-optimal within the explored branching. Branching on an overloaded
+// node is complete: any feasible embedding must move at least one of the
+// VNFs the relaxation co-located there, and a child is created per such
+// move. Branching on an overloaded link excludes the link wholesale,
+// which approximates path re-routing (DESIGN.md §3). The search budget is
+// Options.MaxExactRetries expansions.
+func (e *Engine) exactEmbed(app *vnet.App, r workload.Request) *vnet.Embedding {
+	solve := func(n *bbNode) bool {
+		prices := e.prices
+		if len(n.elems) > 0 {
+			prices = append(embedder.Prices(nil), e.prices...)
+			for elem := range n.elems {
+				prices[elem] = math.Inf(1)
+			}
+		}
+		var allow embedder.Restriction
+		if len(n.pairs) > 0 {
+			allow = func(v vnet.VNFID, u graph.NodeID) bool { return !n.pairs[vnfNodeBan{v, u}] }
+		}
+		emb, cost, ok := embedder.NewOracle(e.g, prices).MinCostEmbedRestricted(app, r.Ingress, allow)
+		n.emb, n.cost = emb, cost
+		return ok
+	}
+
+	root := &bbNode{}
+	if !solve(root) {
+		return nil
+	}
+	open := []*bbNode{root}
+	for budget := e.opts.MaxExactRetries * 4; budget > 0 && len(open) > 0; budget-- {
+		// Pop the lowest-bound node (lists stay tiny; linear scan).
+		best := 0
+		for i := range open {
+			if open[i].cost < open[best].cost {
+				best = i
+			}
+		}
+		n := open[best]
+		open = append(open[:best], open[best+1:]...)
+
+		if n.emb.FitsResidual(e.res, r.Demand) {
+			return n.emb
+		}
+		// Branch on the first violated element.
+		var violated graph.ElementID = -1
+		for _, u := range n.emb.UnitUse() {
+			if u.Amount*r.Demand > e.res[u.Elem] {
+				violated = u.Elem
+				break
+			}
+		}
+		if violated < 0 {
+			continue
+		}
+		child := func() *bbNode {
+			c := &bbNode{
+				pairs: make(map[vnfNodeBan]bool, len(n.pairs)+1),
+				elems: make(map[graph.ElementID]bool, len(n.elems)+1),
+			}
+			for k := range n.pairs {
+				c.pairs[k] = true
+			}
+			for k := range n.elems {
+				c.elems[k] = true
+			}
+			return c
+		}
+		if node, isNode := e.g.ElementNode(violated); isNode {
+			for i, host := range n.emb.NodeMap {
+				vid := vnet.VNFID(i)
+				if vid == vnet.Root || host != node {
+					continue
+				}
+				c := child()
+				c.pairs[vnfNodeBan{vid, node}] = true
+				if solve(c) {
+					open = append(open, c)
+				}
+			}
+		} else {
+			c := child()
+			c.elems[violated] = true
+			if solve(c) {
+				open = append(open, c)
+			}
+		}
+	}
+	return nil
+}
+
+// SwapPlan replaces the engine's plan mid-run — the time-varying plan
+// extension (paper §VI future work). Plan residuals are re-initialized
+// from the new plan; requests allocated under the previous plan keep their
+// resources but are reclassified as non-planned, making them preemptible
+// borrowers with respect to the new plan's guarantees.
+func (e *Engine) SwapPlan(p *plan.Plan) {
+	e.opts.Plan = p
+	if p.Empty() {
+		e.shareRes = nil
+	} else {
+		e.shareRes = make([][]float64, len(p.Classes))
+		for i, cp := range p.Classes {
+			rs := make([]float64, len(cp.Shares))
+			for j, s := range cp.Shares {
+				rs[j] = s.Fraction * cp.Class.Demand
+			}
+			e.shareRes[i] = rs
+		}
+	}
+	for _, ar := range e.active {
+		ar.planned = false
+		ar.classIdx, ar.shareIdx = -1, -1
+	}
+}
+
+// PlannedResidual returns the remaining planned capacity (demand units)
+// of the class serving (app, ingress); zero when the plan has no such
+// class. Diagnostics for Fig. 12-style introspection.
+func (e *Engine) PlannedResidual(app int, ingress graph.NodeID) float64 {
+	ci, ok := e.opts.Plan.LookupIndex(app, ingress)
+	if !ok {
+		return 0
+	}
+	var sum float64
+	for _, v := range e.shareRes[ci] {
+		sum += v
+	}
+	return sum
+}
+
+// CheckInvariants verifies internal consistency: residuals non-negative
+// and consistent with the set of active allocations. Used by tests and
+// failure-injection harnesses.
+func (e *Engine) CheckInvariants() error {
+	recomputed := e.g.Capacities()
+	for _, ar := range e.active {
+		ar.emb.Apply(recomputed, ar.req.Demand)
+	}
+	for i := range recomputed {
+		if recomputed[i] < -1e-6 {
+			return fmt.Errorf("core: element %d oversubscribed by %g", i, -recomputed[i])
+		}
+		if diff := recomputed[i] - e.res[i]; diff > 1e-6 || diff < -1e-6 {
+			return fmt.Errorf("core: element %d residual drift %g", i, diff)
+		}
+	}
+	if e.shareRes != nil {
+		for ci, rs := range e.shareRes {
+			cp := e.opts.Plan.Classes[ci]
+			for j, v := range rs {
+				max := cp.Shares[j].Fraction * cp.Class.Demand
+				if v < -1e-6 || v > max+1e-6 {
+					return fmt.Errorf("core: class %d share %d residual %g outside [0,%g]", ci, j, v, max)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+// Package embedder finds minimum-cost integral embeddings of a virtual
+// network (a rooted tree of VNFs) onto a substrate under arbitrary
+// per-element prices.
+//
+// The core routine, MinCostEmbed, is a dynamic program over the VN tree
+// with all-pairs shortest paths on the substrate: for tree-shaped virtual
+// networks it returns the exact cost-minimal mapping (each virtual link's
+// path chosen independently along a shortest path under the given prices).
+// It is used three ways in the reproduction:
+//
+//   - as the FULLG baseline's per-request exact embedder (paper §IV-A),
+//   - as the pricing oracle of the PLAN-VNE column generation (the
+//     Dantzig–Wolfe subproblem: prices = element costs minus LP duals),
+//   - to seed initial candidate columns for the plan LP.
+//
+// Collocated embeddings (all functional VNFs on one node — the restriction
+// QUICKG and OLIVE's GREEDYEMBED use, §III-C) are produced by
+// BestCollocated and CollocatedOnNode.
+package embedder
+
+import (
+	"math"
+
+	"github.com/olive-vne/olive/internal/graph"
+	"github.com/olive-vne/olive/internal/vnet"
+)
+
+// Prices assigns a per-CU price to every substrate element (flat element
+// indexing). A price of +Inf excludes the element.
+type Prices []float64
+
+// CostPrices returns the substrate's own element costs as prices.
+func CostPrices(g *graph.Graph) Prices {
+	p := make(Prices, g.NumElements())
+	for i := range p {
+		p[i] = g.ElementCost(graph.ElementID(i))
+	}
+	return p
+}
+
+// AdjustedPrices returns cost(s) − dual[s] for column-generation pricing:
+// capacity-row duals are ≤ 0 at optimality, so congested elements become
+// more expensive. dual is indexed by element.
+func AdjustedPrices(g *graph.Graph, dual []float64) Prices {
+	p := CostPrices(g)
+	for i := range p {
+		p[i] -= dual[i]
+	}
+	return p
+}
+
+// Oracle answers min-cost embedding queries for one substrate graph and
+// price vector. Building an Oracle runs one all-pairs shortest path
+// computation; queries reuse it, so batch queries per price vector.
+type Oracle struct {
+	g  *graph.Graph
+	pr Prices
+	ap *graph.AllPairs
+	// nodePrice[u] is the per-CU price of node u (+Inf if excluded).
+	nodePrice []float64
+}
+
+// NewOracle prepares an oracle for the given prices.
+func NewOracle(g *graph.Graph, pr Prices) *Oracle {
+	w := func(l graph.Link) float64 { return pr[g.LinkElement(l.ID)] }
+	o := &Oracle{g: g, pr: pr, ap: g.AllPairsShortestPaths(w)}
+	o.nodePrice = make([]float64, g.NumNodes())
+	for i := range o.nodePrice {
+		o.nodePrice[i] = pr[g.NodeElement(graph.NodeID(i))]
+	}
+	return o
+}
+
+// MinCostEmbed returns the cost-minimal embedding of app with θ pinned at
+// ingress, under the oracle's prices, along with its per-unit-demand price
+// (Σ β·η·price over the mapping). ok is false when no finite-price
+// embedding exists (e.g. all GPU nodes excluded for a GPU VNF).
+//
+// The DP is exact for tree-shaped apps: children subtrees are independent
+// given the parent's placement, and each virtual link independently takes
+// a shortest path under the prices.
+func (o *Oracle) MinCostEmbed(app *vnet.App, ingress graph.NodeID) (*vnet.Embedding, float64, bool) {
+	return o.MinCostEmbedRestricted(app, ingress, nil)
+}
+
+// Restriction limits which substrate nodes a given VNF may occupy; a nil
+// Restriction allows every node. FULLG's capacity branch-out bans
+// individual (VNF, node) pairs to discover split placements around a
+// jointly-overloaded node.
+type Restriction func(vnet.VNFID, graph.NodeID) bool
+
+// MinCostEmbedRestricted is MinCostEmbed with per-VNF node restrictions.
+func (o *Oracle) MinCostEmbedRestricted(app *vnet.App, ingress graph.NodeID, allow Restriction) (*vnet.Embedding, float64, bool) {
+	n := o.g.NumNodes()
+	numVNF := len(app.VNFs)
+
+	children := make([][]int, numVNF) // child link indices per VNF
+	for li, l := range app.Links {
+		children[l.From] = append(children[l.From], li)
+	}
+
+	// cost[i][u]: minimal price of the subtree rooted at VNF i when i
+	// sits on node u. choice[li][u]: best child node for link li given
+	// its parent on u.
+	cost := make([][]float64, numVNF)
+	choice := make([][]graph.NodeID, len(app.Links))
+
+	// Process VNFs in reverse topological order: links are listed
+	// parent-to-child, so children have higher traversal order; a
+	// reverse sweep over VNF indices is not sufficient for trees built
+	// by generators (IDs are BFS-ish but branches interleave), so
+	// compute an explicit post-order over links.
+	order := postOrder(app)
+
+	for _, i := range order {
+		v := app.VNFs[i]
+		ci := make([]float64, n)
+		for u := 0; u < n; u++ {
+			eta := vnet.Eff(v, o.g.Node(graph.NodeID(u)))
+			if math.IsInf(eta, 1) || math.IsInf(o.nodePrice[u], 1) ||
+				(allow != nil && v.ID != vnet.Root && !allow(v.ID, graph.NodeID(u))) {
+				ci[u] = math.Inf(1)
+				continue
+			}
+			ci[u] = v.Size * eta * o.nodePrice[u]
+		}
+		for _, li := range children[i] {
+			l := app.Links[li]
+			childCost := cost[l.To]
+			choice[li] = make([]graph.NodeID, n)
+			for u := 0; u < n; u++ {
+				if math.IsInf(ci[u], 1) {
+					continue
+				}
+				best := math.Inf(1)
+				bestW := graph.NodeID(-1)
+				for w := 0; w < n; w++ {
+					if math.IsInf(childCost[w], 1) {
+						continue
+					}
+					c := l.Size*o.ap.Dist(graph.NodeID(u), graph.NodeID(w)) + childCost[w]
+					if c < best {
+						best, bestW = c, graph.NodeID(w)
+					}
+				}
+				ci[u] += best
+				choice[li][u] = bestW
+			}
+		}
+		cost[i] = ci
+	}
+
+	rootCost := cost[vnet.Root][ingress]
+	if math.IsInf(rootCost, 1) {
+		return nil, 0, false
+	}
+
+	// Reconstruct the mapping top-down.
+	nodeMap := make([]graph.NodeID, numVNF)
+	nodeMap[vnet.Root] = ingress
+	pathMap := make([]graph.Path, len(app.Links))
+	var walk func(i int)
+	walk = func(i int) {
+		u := nodeMap[i]
+		for _, li := range children[i] {
+			l := app.Links[li]
+			w := choice[li][u]
+			nodeMap[l.To] = w
+			p, _ := o.ap.Path(u, w)
+			pathMap[li] = p
+			walk(int(l.To))
+		}
+	}
+	walk(int(vnet.Root))
+
+	e, err := vnet.NewEmbedding(o.g, app, nodeMap, pathMap)
+	if err != nil {
+		// Only possible if prices admit a node that η forbids —
+		// prevented above, so treat as "no embedding".
+		return nil, 0, false
+	}
+	return e, rootCost, true
+}
+
+// postOrder returns VNF indices so that every child precedes its parent.
+func postOrder(app *vnet.App) []int {
+	children := make([][]vnet.VNFID, len(app.VNFs))
+	for _, l := range app.Links {
+		children[l.From] = append(children[l.From], l.To)
+	}
+	order := make([]int, 0, len(app.VNFs))
+	var visit func(i vnet.VNFID)
+	visit = func(i vnet.VNFID) {
+		for _, c := range children[i] {
+			visit(c)
+		}
+		order = append(order, int(i))
+	}
+	visit(vnet.Root)
+	return order
+}
+
+// CollocatedOnNode builds the embedding that places every functional VNF
+// of app on node u, with θ at ingress and every θ-adjacent virtual link
+// routed along the price-shortest ingress→u path. ok is false if u is
+// excluded (price or η) or unreachable.
+func (o *Oracle) CollocatedOnNode(app *vnet.App, ingress, u graph.NodeID) (*vnet.Embedding, float64, bool) {
+	if math.IsInf(o.nodePrice[u], 1) {
+		return nil, 0, false
+	}
+	node := o.g.Node(u)
+	var price float64
+	for _, v := range app.VNFs {
+		eta := vnet.Eff(v, node)
+		if math.IsInf(eta, 1) {
+			return nil, 0, false
+		}
+		price += v.Size * eta * o.nodePrice[u]
+	}
+	var rootPath graph.Path
+	if ingress != u {
+		p, ok := o.ap.Path(ingress, u)
+		if !ok || math.IsInf(p.Cost, 1) {
+			return nil, 0, false
+		}
+		rootPath = p
+	} else {
+		rootPath = graph.Path{Nodes: []graph.NodeID{u}}
+	}
+	nodeMap := make([]graph.NodeID, len(app.VNFs))
+	nodeMap[vnet.Root] = ingress
+	for i := 1; i < len(nodeMap); i++ {
+		nodeMap[i] = u
+	}
+	pathMap := make([]graph.Path, len(app.Links))
+	for li, l := range app.Links {
+		if l.From == vnet.Root {
+			pathMap[li] = rootPath
+			price += l.Size * rootPath.Cost
+		} else {
+			pathMap[li] = graph.Path{Nodes: []graph.NodeID{u}}
+		}
+	}
+	e, err := vnet.NewEmbedding(o.g, app, nodeMap, pathMap)
+	if err != nil {
+		return nil, 0, false
+	}
+	return e, price, true
+}
+
+// scoredNode pairs a candidate hosting node with its embedding price.
+type scoredNode struct {
+	u     graph.NodeID
+	price float64
+}
+
+func sortCands(cs []scoredNode) {
+	// Insertion sort keeps the dependency footprint minimal; candidate
+	// lists are at most NumNodes (≤100) long.
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].price < cs[j-1].price; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// BestCollocated returns the cheapest collocated embedding of app rooted
+// at ingress that satisfies demand d within the residual capacities res
+// (Eq. 18); candidates are scanned in increasing price. ok is false if no
+// feasible collocated embedding exists. Passing a nil res skips
+// feasibility and returns the globally cheapest collocated embedding.
+func (o *Oracle) BestCollocated(app *vnet.App, ingress graph.NodeID, res []float64, d float64) (*vnet.Embedding, float64, bool) {
+	cands := make([]scoredNode, 0, o.g.NumNodes())
+	nodeSize := app.TotalNodeSize()
+	var rootLinkSize float64
+	for _, l := range app.Links {
+		if l.From == vnet.Root {
+			rootLinkSize += l.Size
+		}
+	}
+	for u := 0; u < o.g.NumNodes(); u++ {
+		if math.IsInf(o.nodePrice[u], 1) {
+			continue
+		}
+		dist := o.ap.Dist(ingress, graph.NodeID(u))
+		if math.IsInf(dist, 1) {
+			continue
+		}
+		// Price lower bound: exact for the collocated form.
+		cands = append(cands, scoredNode{graph.NodeID(u), nodeSize*o.nodePrice[u] + rootLinkSize*dist})
+	}
+	sortCands(cands)
+	for _, c := range cands {
+		e, price, ok := o.CollocatedOnNode(app, ingress, c.u)
+		if !ok {
+			continue
+		}
+		if res != nil && !e.FitsResidual(res, d) {
+			continue
+		}
+		return e, price, true
+	}
+	return nil, 0, false
+}
+
+// KCheapestCollocated returns up to k collocated embeddings in increasing
+// price order, ignoring capacities — the initial columns of the plan LP.
+func (o *Oracle) KCheapestCollocated(app *vnet.App, ingress graph.NodeID, k int) []*vnet.Embedding {
+	var cands []scoredNode
+	for u := 0; u < o.g.NumNodes(); u++ {
+		if _, price, ok := o.CollocatedOnNode(app, ingress, graph.NodeID(u)); ok {
+			cands = append(cands, scoredNode{graph.NodeID(u), price})
+		}
+	}
+	sortCands(cands)
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]*vnet.Embedding, 0, len(cands))
+	for _, c := range cands {
+		e, _, _ := o.CollocatedOnNode(app, ingress, c.u)
+		out = append(out, e)
+	}
+	return out
+}
+
+// MinCostEmbedExcluding runs MinCostEmbed with additional elements
+// excluded (price +Inf) — the FULLG capacity branch-out uses it to retry
+// around saturated elements. The exclusion set maps element IDs to true.
+func MinCostEmbedExcluding(g *graph.Graph, base Prices, exclude map[graph.ElementID]bool, app *vnet.App, ingress graph.NodeID) (*vnet.Embedding, float64, bool) {
+	pr := append(Prices(nil), base...)
+	for e := range exclude {
+		pr[e] = math.Inf(1)
+	}
+	return NewOracle(g, pr).MinCostEmbed(app, ingress)
+}

@@ -1,0 +1,300 @@
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Path is a substrate path: an ordered list of link IDs joining consecutive
+// nodes. An empty path is valid and denotes staying at a single node.
+type Path struct {
+	// Nodes lists the visited nodes in order; len(Nodes) == len(Links)+1
+	// for non-empty paths. For the empty path it holds the single node.
+	Nodes []NodeID
+	// Links lists the traversed link IDs in order.
+	Links []LinkID
+	// Cost is the sum of link costs along the path under the weight
+	// function used to compute it.
+	Cost float64
+}
+
+// Len returns the number of links in the path (0 for the empty path).
+func (p Path) Len() int { return len(p.Links) }
+
+// Src returns the first node of the path.
+func (p Path) Src() NodeID { return p.Nodes[0] }
+
+// Dst returns the last node of the path.
+func (p Path) Dst() NodeID { return p.Nodes[len(p.Nodes)-1] }
+
+// WeightFunc assigns a traversal weight to a link. Weights must be
+// non-negative; return math.Inf(1) to forbid a link.
+type WeightFunc func(Link) float64
+
+// CostWeight weighs links by their per-CU usage cost.
+func CostWeight(l Link) float64 { return l.Cost }
+
+// HopWeight weighs every link as 1.
+func HopWeight(Link) float64 { return 1 }
+
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type priorityQueue []pqItem
+
+func (q priorityQueue) Len() int            { return len(q) }
+func (q priorityQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q priorityQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *priorityQueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *priorityQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPathTree holds single-source shortest path results.
+type ShortestPathTree struct {
+	Source NodeID
+	// Dist[n] is the distance from Source to n, +Inf if unreachable.
+	Dist []float64
+	// prevLink[n] is the link used to reach n, -1 at the source or for
+	// unreachable nodes.
+	prevLink []LinkID
+	g        *Graph
+}
+
+// Dijkstra computes single-source shortest paths from src under w.
+func (g *Graph) Dijkstra(src NodeID, w WeightFunc) *ShortestPathTree {
+	n := len(g.nodes)
+	t := &ShortestPathTree{
+		Source:   src,
+		Dist:     make([]float64, n),
+		prevLink: make([]LinkID, n),
+		g:        g,
+	}
+	for i := range t.Dist {
+		t.Dist[i] = math.Inf(1)
+		t.prevLink[i] = -1
+	}
+	t.Dist[src] = 0
+	pq := priorityQueue{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(&pq).(pqItem)
+		if it.dist > t.Dist[it.node] {
+			continue // stale entry
+		}
+		for _, lid := range g.adj[it.node] {
+			l := g.links[lid]
+			wl := w(l)
+			if math.IsInf(wl, 1) {
+				continue
+			}
+			m := l.Other(it.node)
+			if d := it.dist + wl; d < t.Dist[m] {
+				t.Dist[m] = d
+				t.prevLink[m] = lid
+				heap.Push(&pq, pqItem{node: m, dist: d})
+			}
+		}
+	}
+	return t
+}
+
+// PathTo reconstructs the shortest path from the tree's source to dst.
+// ok is false if dst is unreachable.
+func (t *ShortestPathTree) PathTo(dst NodeID) (Path, bool) {
+	if math.IsInf(t.Dist[dst], 1) {
+		return Path{}, false
+	}
+	var links []LinkID
+	for n := dst; n != t.Source; {
+		lid := t.prevLink[n]
+		links = append(links, lid)
+		n = t.g.links[lid].Other(n)
+	}
+	// Reverse into forward order.
+	for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
+		links[i], links[j] = links[j], links[i]
+	}
+	nodes := make([]NodeID, 0, len(links)+1)
+	nodes = append(nodes, t.Source)
+	cur := t.Source
+	for _, lid := range links {
+		cur = t.g.links[lid].Other(cur)
+		nodes = append(nodes, cur)
+	}
+	return Path{Nodes: nodes, Links: links, Cost: t.Dist[dst]}, true
+}
+
+// ShortestPath returns the least-weight path from src to dst under w.
+func (g *Graph) ShortestPath(src, dst NodeID, w WeightFunc) (Path, bool) {
+	if src == dst {
+		return Path{Nodes: []NodeID{src}}, true
+	}
+	return g.Dijkstra(src, w).PathTo(dst)
+}
+
+// AllPairs holds all-pairs shortest path results: a shortest path tree per
+// source node, computed lazily or eagerly.
+type AllPairs struct {
+	trees []*ShortestPathTree
+	g     *Graph
+}
+
+// AllPairsShortestPaths computes a Dijkstra tree from every node under w.
+// For the topology sizes in the paper (≤100 nodes) this is fast and gives
+// O(1) distance lookups afterwards.
+func (g *Graph) AllPairsShortestPaths(w WeightFunc) *AllPairs {
+	ap := &AllPairs{trees: make([]*ShortestPathTree, len(g.nodes)), g: g}
+	for i := range g.nodes {
+		ap.trees[i] = g.Dijkstra(NodeID(i), w)
+	}
+	return ap
+}
+
+// Dist returns the shortest distance from src to dst.
+func (ap *AllPairs) Dist(src, dst NodeID) float64 { return ap.trees[src].Dist[dst] }
+
+// Path returns the shortest path from src to dst; ok is false if
+// unreachable.
+func (ap *AllPairs) Path(src, dst NodeID) (Path, bool) {
+	if src == dst {
+		return Path{Nodes: []NodeID{src}}, true
+	}
+	return ap.trees[src].PathTo(dst)
+}
+
+// PathFromLinks reconstructs a Path from a start node and an ordered link
+// sequence, validating adjacency and computing the cost under w. An empty
+// link list yields the empty path at start.
+func (g *Graph) PathFromLinks(start NodeID, links []LinkID, w WeightFunc) (Path, error) {
+	if int(start) < 0 || int(start) >= len(g.nodes) {
+		return Path{}, fmt.Errorf("graph: path start %d out of range", start)
+	}
+	p := Path{Nodes: []NodeID{start}}
+	cur := start
+	for i, lid := range links {
+		if int(lid) < 0 || int(lid) >= len(g.links) {
+			return Path{}, fmt.Errorf("graph: path link %d (%d) out of range", i, lid)
+		}
+		l := g.links[lid]
+		if l.From != cur && l.To != cur {
+			return Path{}, fmt.Errorf("graph: path link %d (%d) not incident to node %d", i, lid, cur)
+		}
+		cur = l.Other(cur)
+		p.Links = append(p.Links, lid)
+		p.Nodes = append(p.Nodes, cur)
+		p.Cost += w(l)
+	}
+	return p, nil
+}
+
+// KShortestPaths returns up to k loopless shortest paths from src to dst in
+// increasing weight order (Yen's algorithm). It returns fewer than k paths
+// if the graph does not contain them.
+func (g *Graph) KShortestPaths(src, dst NodeID, k int, w WeightFunc) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first, ok := g.ShortestPath(src, dst, w)
+	if !ok {
+		return nil
+	}
+	paths := []Path{first}
+	var candidates []Path
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		// Each node of the previous path except the last is a spur node.
+		for i := 0; i < len(prev.Nodes)-1; i++ {
+			spur := prev.Nodes[i]
+			rootLinks := prev.Links[:i]
+			rootNodes := prev.Nodes[:i+1]
+
+			banLinks := make(map[LinkID]bool)
+			banNodes := make(map[NodeID]bool)
+			for _, p := range paths {
+				if sharesPrefix(p, rootLinks) && p.Len() > i {
+					banLinks[p.Links[i]] = true
+				}
+			}
+			for _, n := range rootNodes[:i] {
+				banNodes[n] = true
+			}
+
+			wf := func(l Link) float64 {
+				if banLinks[l.ID] || banNodes[l.From] || banNodes[l.To] {
+					return math.Inf(1)
+				}
+				return w(l)
+			}
+			spurPath, ok := g.ShortestPath(spur, dst, wf)
+			if !ok {
+				continue
+			}
+			total := concatPaths(g, rootNodes, rootLinks, spurPath, w)
+			if !containsPath(paths, total) && !containsPath(candidates, total) {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool { return candidates[a].Cost < candidates[b].Cost })
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+func sharesPrefix(p Path, rootLinks []LinkID) bool {
+	if p.Len() < len(rootLinks) {
+		return false
+	}
+	for i, l := range rootLinks {
+		if p.Links[i] != l {
+			return false
+		}
+	}
+	return true
+}
+
+func concatPaths(g *Graph, rootNodes []NodeID, rootLinks []LinkID, spur Path, w WeightFunc) Path {
+	links := make([]LinkID, 0, len(rootLinks)+spur.Len())
+	links = append(links, rootLinks...)
+	links = append(links, spur.Links...)
+	nodes := make([]NodeID, 0, len(rootNodes)+len(spur.Nodes)-1)
+	nodes = append(nodes, rootNodes...)
+	nodes = append(nodes, spur.Nodes[1:]...)
+	var cost float64
+	for _, lid := range links {
+		cost += w(g.links[lid])
+	}
+	return Path{Nodes: nodes, Links: links, Cost: cost}
+}
+
+func containsPath(ps []Path, p Path) bool {
+	for _, q := range ps {
+		if samePath(q, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func samePath(a, b Path) bool {
+	if len(a.Links) != len(b.Links) {
+		return false
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// randomConnected builds a random connected graph with n nodes and extra
+// random links, unit capacities, and link costs in [1, 10).
+func randomConnected(n int, extra int, rng *rand.Rand) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(Node{Cap: 1, Tier: TierEdge})
+	}
+	for i := 1; i < n; i++ {
+		g.AddLink(NodeID(i), NodeID(rng.IntN(i)), 1, 1+rng.Float64()*9)
+	}
+	for k := 0; k < extra; k++ {
+		a, b := NodeID(rng.IntN(n)), NodeID(rng.IntN(n))
+		if a != b {
+			g.AddLink(a, b, 1, 1+rng.Float64()*9)
+		}
+	}
+	return g
+}
+
+// Property: Dijkstra distances satisfy the triangle inequality
+// d(a,c) ≤ d(a,b) + d(b,c) and symmetry on undirected graphs.
+func TestDijkstraMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	g := randomConnected(24, 20, rng)
+	ap := g.AllPairsShortestPaths(CostWeight)
+	f := func(aRaw, bRaw, cRaw uint8) bool {
+		a := NodeID(int(aRaw) % g.NumNodes())
+		b := NodeID(int(bRaw) % g.NumNodes())
+		c := NodeID(int(cRaw) % g.NumNodes())
+		dab, dbc, dac := ap.Dist(a, b), ap.Dist(b, c), ap.Dist(a, c)
+		if math.Abs(ap.Dist(a, b)-ap.Dist(b, a)) > 1e-9 {
+			return false
+		}
+		return dac <= dab+dbc+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every reconstructed shortest path's link costs sum to the
+// reported distance, and consecutive links are adjacent.
+func TestShortestPathInternalConsistency(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 34))
+	for trial := 0; trial < 20; trial++ {
+		g := randomConnected(16, 12, rng)
+		ap := g.AllPairsShortestPaths(CostWeight)
+		for a := 0; a < g.NumNodes(); a++ {
+			for b := 0; b < g.NumNodes(); b++ {
+				p, ok := ap.Path(NodeID(a), NodeID(b))
+				if !ok {
+					t.Fatalf("trial %d: no path %d→%d in connected graph", trial, a, b)
+				}
+				var sum float64
+				cur := NodeID(a)
+				for _, lid := range p.Links {
+					l := g.Link(lid)
+					if l.From != cur && l.To != cur {
+						t.Fatalf("trial %d: path %d→%d link %d not incident to %d", trial, a, b, lid, cur)
+					}
+					cur = l.Other(cur)
+					sum += l.Cost
+				}
+				if cur != NodeID(b) {
+					t.Fatalf("trial %d: path %d→%d ends at %d", trial, a, b, cur)
+				}
+				if math.Abs(sum-ap.Dist(NodeID(a), NodeID(b))) > 1e-9 {
+					t.Fatalf("trial %d: path cost %g ≠ dist %g", trial, sum, ap.Dist(NodeID(a), NodeID(b)))
+				}
+			}
+		}
+	}
+}
+
+// Property: KShortestPaths costs are non-decreasing and all paths connect
+// src to dst without node repetition.
+func TestKShortestPathsProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(35, 36))
+	for trial := 0; trial < 15; trial++ {
+		g := randomConnected(12, 14, rng)
+		src := NodeID(rng.IntN(g.NumNodes()))
+		dst := NodeID(rng.IntN(g.NumNodes()))
+		if src == dst {
+			continue
+		}
+		paths := g.KShortestPaths(src, dst, 5, CostWeight)
+		if len(paths) == 0 {
+			t.Fatalf("trial %d: no paths in connected graph", trial)
+		}
+		for i, p := range paths {
+			if p.Src() != src || p.Dst() != dst {
+				t.Fatalf("trial %d: path %d endpoints (%d,%d)", trial, i, p.Src(), p.Dst())
+			}
+			if i > 0 && p.Cost < paths[i-1].Cost-1e-9 {
+				t.Fatalf("trial %d: costs not sorted: %g after %g", trial, p.Cost, paths[i-1].Cost)
+			}
+			seen := map[NodeID]bool{}
+			for _, n := range p.Nodes {
+				if seen[n] {
+					t.Fatalf("trial %d: path %d revisits node %d", trial, i, n)
+				}
+				seen[n] = true
+			}
+		}
+		// Paths must be pairwise distinct.
+		for i := range paths {
+			for j := i + 1; j < len(paths); j++ {
+				if samePath(paths[i], paths[j]) {
+					t.Fatalf("trial %d: duplicate paths %d and %d", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestPathFromLinksRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(37, 38))
+	g := randomConnected(20, 15, rng)
+	ap := g.AllPairsShortestPaths(CostWeight)
+	for a := 0; a < g.NumNodes(); a += 3 {
+		for b := 0; b < g.NumNodes(); b += 4 {
+			want, _ := ap.Path(NodeID(a), NodeID(b))
+			got, err := g.PathFromLinks(NodeID(a), want.Links, CostWeight)
+			if err != nil {
+				t.Fatalf("PathFromLinks(%d,%v): %v", a, want.Links, err)
+			}
+			if got.Dst() != want.Dst() || math.Abs(got.Cost-want.Cost) > 1e-9 {
+				t.Fatalf("round trip (%d→%d): got dst %d cost %g, want %d %g",
+					a, b, got.Dst(), got.Cost, want.Dst(), want.Cost)
+			}
+		}
+	}
+}
+
+func TestPathFromLinksErrors(t *testing.T) {
+	g := New()
+	g.AddNode(Node{Cap: 1})
+	g.AddNode(Node{Cap: 1})
+	g.AddNode(Node{Cap: 1})
+	l01 := g.AddLink(0, 1, 1, 1)
+	g.AddLink(1, 2, 1, 1)
+
+	if _, err := g.PathFromLinks(9, nil, CostWeight); err == nil {
+		t.Error("out-of-range start accepted")
+	}
+	if _, err := g.PathFromLinks(0, []LinkID{99}, CostWeight); err == nil {
+		t.Error("out-of-range link accepted")
+	}
+	// Link 0-1 is not incident to node 2.
+	if _, err := g.PathFromLinks(2, []LinkID{l01}, CostWeight); err == nil {
+		t.Error("non-adjacent link accepted")
+	}
+	// Empty path is valid.
+	p, err := g.PathFromLinks(1, nil, CostWeight)
+	if err != nil || p.Len() != 0 || p.Src() != 1 {
+		t.Fatalf("empty path: %+v, %v", p, err)
+	}
+}
+
+func TestHopWeight(t *testing.T) {
+	g := New()
+	g.AddNode(Node{Cap: 1})
+	g.AddNode(Node{Cap: 1})
+	g.AddLink(0, 1, 1, 500) // expensive but one hop
+	p, ok := g.ShortestPath(0, 1, HopWeight)
+	if !ok || p.Cost != 1 {
+		t.Fatalf("hop path cost %g, want 1", p.Cost)
+	}
+}

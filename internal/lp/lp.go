@@ -1,0 +1,854 @@
+// Package lp implements a sparse linear-programming solver — a two-phase
+// revised primal simplex with bounded variables and a dense basis inverse.
+// It stands in for the CPLEX solver used in the paper (DESIGN.md §3): it
+// solves the PLAN-VNE relaxation (Fig. 4) and the per-slot offline
+// instances of the SLOTOFF baseline, and exposes dual prices so the plan
+// builder can run Dantzig–Wolfe column generation.
+//
+// Problems are stated as
+//
+//	minimize    cᵀx
+//	subject to  Ax {≤,=,≥} b   (per-row sense)
+//	            lo ≤ x ≤ up    (per-variable bounds, up may be +Inf)
+//
+// The solver is exact up to floating-point tolerances and is sized for the
+// instances of this reproduction (hundreds of rows, thousands of columns).
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is a row's constraint sense.
+type Sense int
+
+// Row senses.
+const (
+	LE Sense = iota + 1 // Σ aᵢxᵢ ≤ b
+	EQ                  // Σ aᵢxᵢ = b
+	GE                  // Σ aᵢxᵢ ≥ b
+)
+
+// Entry is one nonzero coefficient of a column.
+type Entry struct {
+	Row  int
+	Coef float64
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Problem is an LP under construction. The zero value is unusable; call
+// NewProblem.
+type Problem struct {
+	rowSense []Sense
+	rhs      []float64
+
+	cost    []float64
+	lo, up  []float64
+	cols    [][]Entry
+	numVars int
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddRow appends a constraint row and returns its index.
+func (p *Problem) AddRow(sense Sense, rhs float64) int {
+	p.rowSense = append(p.rowSense, sense)
+	p.rhs = append(p.rhs, rhs)
+	return len(p.rhs) - 1
+}
+
+// AddVar appends a variable with the given objective cost, bounds and
+// sparse column, returning its index. Bounds must satisfy lo ≤ up, lo
+// finite; up may be +Inf. Entries must reference existing rows.
+func (p *Problem) AddVar(cost, lo, up float64, entries []Entry) (int, error) {
+	if math.IsInf(lo, 0) || math.IsNaN(lo) || math.IsNaN(up) || lo > up {
+		return 0, fmt.Errorf("lp: invalid bounds [%g,%g]", lo, up)
+	}
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= len(p.rhs) {
+			return 0, fmt.Errorf("lp: entry references row %d of %d", e.Row, len(p.rhs))
+		}
+	}
+	p.cost = append(p.cost, cost)
+	p.lo = append(p.lo, lo)
+	p.up = append(p.up, up)
+	p.cols = append(p.cols, append([]Entry(nil), entries...))
+	p.numVars++
+	return p.numVars - 1, nil
+}
+
+// MustAddVar is AddVar that panics on error, for construction code whose
+// indices are correct by construction.
+func (p *Problem) MustAddVar(cost, lo, up float64, entries []Entry) int {
+	v, err := p.AddVar(cost, lo, up, entries)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// NumRows returns the number of constraint rows added so far.
+func (p *Problem) NumRows() int { return len(p.rhs) }
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return p.numVars }
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status Status
+	// Obj is the objective value (meaningful only when Status==Optimal).
+	Obj float64
+	// X holds the primal values of the structural variables.
+	X []float64
+	// Dual holds one simplex multiplier per row (y = c_B·B⁻¹). At
+	// optimality the reduced cost c_j − y·A_j of every structural
+	// column is ≥ −tol for variables at lower bound; column generation
+	// prices new columns against these values.
+	Dual []float64
+	// Iterations counts simplex pivots across both phases.
+	Iterations int
+}
+
+// numerical tolerances
+const (
+	dualTol  = 1e-9 // reduced-cost optimality tolerance
+	pivotTol = 1e-9 // minimum pivot magnitude
+	feasTol  = 1e-7 // primal feasibility tolerance
+)
+
+const maxIterFactor = 200 // iteration cap: maxIterFactor · (m + n)
+
+// ErrIterationLimit is returned when the simplex exceeds its iteration
+// budget — in practice a symptom of severe degeneracy or numerical
+// trouble.
+var ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+
+// variable status within the simplex
+type vstat uint8
+
+const (
+	atLower vstat = iota
+	atUpper
+	basic
+)
+
+// simplex carries the working state of one solve.
+type simplex struct {
+	m int // rows
+	n int // total columns (structural + slack + artificial)
+
+	cost   []float64 // phase-2 costs
+	lo, up []float64
+	cols   [][]Entry
+	rhs    []float64
+
+	nStruct int // structural column count
+	nSlack  int // slack column count
+	artBase int // first artificial column index
+
+	status []vstat
+	basis  []int     // basis[i] = column basic in row i
+	xB     []float64 // values of basic variables
+	xN     []float64 // value of every column when nonbasic (its bound)
+	binv   []float64 // dense m×m basis inverse, row-major
+
+	iters int
+}
+
+// Solve runs the two-phase simplex and returns the solution. The problem
+// may be reused (Solve does not mutate it). If the basis degenerates into
+// numerical singularity, the solve is retried once with a deterministic
+// relative cost perturbation of ~1e-10, which breaks the tie pattern that
+// led there while moving the optimum negligibly.
+func (p *Problem) Solve() (*Solution, error) {
+	sol, err := p.solveOnce(0)
+	if err != nil && errors.Is(err, errSingular) {
+		sol, err = p.solveOnce(1e-10)
+	}
+	return sol, err
+}
+
+// errSingular marks an unrecoverable-by-iteration basis state.
+var errSingular = errors.New("lp: singular basis during refactorization")
+
+// weakPivot is the magnitude below which a pivot is considered a threat to
+// basis conditioning.
+const weakPivot = 1e-7
+
+func (p *Problem) solveOnce(perturb float64) (*Solution, error) {
+	m := len(p.rhs)
+	if m == 0 || p.numVars == 0 {
+		return nil, errors.New("lp: empty problem")
+	}
+	s := &simplex{m: m, nStruct: p.numVars}
+
+	// Copy structural columns; normalize GE rows to LE by negation.
+	rowNeg := make([]float64, m)
+	for i, sense := range p.rowSense {
+		if sense == GE {
+			rowNeg[i] = -1
+		} else {
+			rowNeg[i] = 1
+		}
+		s.rhs = append(s.rhs, p.rhs[i]*rowNeg[i])
+	}
+	for j := 0; j < p.numVars; j++ {
+		col := make([]Entry, len(p.cols[j]))
+		for k, e := range p.cols[j] {
+			col[k] = Entry{Row: e.Row, Coef: e.Coef * rowNeg[e.Row]}
+		}
+		s.cols = append(s.cols, col)
+		cj := p.cost[j]
+		if perturb != 0 {
+			// Deterministic per-column jitter in [0, perturb).
+			h := uint64(j)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+			cj *= 1 + perturb*float64(h%1024)/1024
+		}
+		s.cost = append(s.cost, cj)
+		s.lo = append(s.lo, p.lo[j])
+		s.up = append(s.up, p.up[j])
+	}
+	// Slack columns for (normalized) LE rows.
+	for i, sense := range p.rowSense {
+		if sense == EQ {
+			continue
+		}
+		s.cols = append(s.cols, []Entry{{Row: i, Coef: 1}})
+		s.cost = append(s.cost, 0)
+		s.lo = append(s.lo, 0)
+		s.up = append(s.up, math.Inf(1))
+		s.nSlack++
+	}
+	s.artBase = len(s.cols)
+
+	if err := s.initBasis(); err != nil {
+		return nil, err
+	}
+
+	maxIter := maxIterFactor * (s.m + len(s.cols))
+
+	// Phase 1: minimize artificial mass if any artificial is nonzero.
+	if s.needPhase1() {
+		phase1Cost := make([]float64, len(s.cols))
+		for j := s.artBase; j < len(s.cols); j++ {
+			phase1Cost[j] = 1
+		}
+		st, err := s.iterate(phase1Cost, maxIter)
+		if err != nil {
+			return nil, fmt.Errorf("lp: phase 1: %w", err)
+		}
+		if st == Unbounded {
+			return nil, errors.New("lp: phase 1 unbounded (internal error)")
+		}
+		if s.objective(phase1Cost) > feasTol*float64(s.m) {
+			return &Solution{Status: Infeasible, Iterations: s.iters}, nil
+		}
+		// Freeze artificials at zero for phase 2.
+		for j := s.artBase; j < len(s.cols); j++ {
+			s.up[j] = 0
+		}
+	}
+
+	st, err := s.iterate(s.cost, maxIter)
+	if err != nil {
+		return nil, fmt.Errorf("lp: phase 2: %w", err)
+	}
+	sol := &Solution{Status: st, Iterations: s.iters}
+	if st != Optimal {
+		return sol, nil
+	}
+	x := s.primal()
+	sol.X = x[:s.nStruct]
+	sol.Obj = 0
+	for j := 0; j < s.nStruct; j++ {
+		sol.Obj += p.cost[j] * sol.X[j]
+	}
+	y := s.duals(s.cost)
+	sol.Dual = make([]float64, m)
+	for i := range y {
+		sol.Dual[i] = y[i] * rowNeg[i]
+	}
+	return sol, nil
+}
+
+// initBasis builds the starting basis: slacks where feasible, artificials
+// elsewhere, with all structural variables at their lower bound.
+func (s *simplex) initBasis() error {
+	s.status = make([]vstat, len(s.cols))
+	s.xN = make([]float64, len(s.cols))
+	for j := range s.cols {
+		s.status[j] = atLower
+		s.xN[j] = s.lo[j]
+	}
+	// Row activity with all structurals at bounds.
+	act := make([]float64, s.m)
+	for j := 0; j < s.nStruct; j++ {
+		if s.xN[j] != 0 {
+			for _, e := range s.cols[j] {
+				act[e.Row] += e.Coef * s.xN[j]
+			}
+		}
+	}
+	s.basis = make([]int, s.m)
+	s.xB = make([]float64, s.m)
+	// Map slack columns to their rows.
+	slackOf := make([]int, s.m)
+	for i := range slackOf {
+		slackOf[i] = -1
+	}
+	for k := 0; k < s.nSlack; k++ {
+		j := s.nStruct + k
+		slackOf[s.cols[j][0].Row] = j
+	}
+	for i := 0; i < s.m; i++ {
+		resid := s.rhs[i] - act[i]
+		if sj := slackOf[i]; sj >= 0 && resid >= 0 {
+			s.basis[i] = sj
+			s.status[sj] = basic
+			s.xB[i] = resid
+			continue
+		}
+		// Artificial with coefficient matching the residual's sign so
+		// its value is non-negative.
+		coef := 1.0
+		if resid < 0 {
+			coef = -1
+		}
+		j := len(s.cols)
+		s.cols = append(s.cols, []Entry{{Row: i, Coef: coef}})
+		s.cost = append(s.cost, 0)
+		s.lo = append(s.lo, 0)
+		s.up = append(s.up, math.Inf(1))
+		s.status = append(s.status, basic)
+		s.xN = append(s.xN, 0)
+		s.basis[i] = j
+		s.xB[i] = math.Abs(resid)
+	}
+	// Basis inverse: diagonal of ±1 (slack/artificial coefficients).
+	s.binv = make([]float64, s.m*s.m)
+	for i := 0; i < s.m; i++ {
+		col := s.cols[s.basis[i]][0]
+		s.binv[i*s.m+i] = 1 / col.Coef
+	}
+	return nil
+}
+
+func (s *simplex) needPhase1() bool {
+	for j := s.artBase; j < len(s.cols); j++ {
+		if s.status[j] == basic {
+			return true
+		}
+	}
+	return false
+}
+
+// objective evaluates cost·x at the current point.
+func (s *simplex) objective(cost []float64) float64 {
+	var obj float64
+	x := s.primal()
+	for j := range x {
+		if j < len(cost) {
+			obj += cost[j] * x[j]
+		}
+	}
+	return obj
+}
+
+// primal assembles the full primal vector.
+func (s *simplex) primal() []float64 {
+	x := make([]float64, len(s.cols))
+	for j := range s.cols {
+		if s.status[j] != basic {
+			x[j] = s.xN[j]
+		}
+	}
+	for i, j := range s.basis {
+		x[j] = s.xB[i]
+	}
+	return x
+}
+
+// duals returns y = c_B · B⁻¹ for the given cost vector.
+func (s *simplex) duals(cost []float64) []float64 {
+	y := make([]float64, s.m)
+	for i, j := range s.basis {
+		cb := 0.0
+		if j < len(cost) {
+			cb = cost[j]
+		}
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[i*s.m : (i+1)*s.m]
+		for k, v := range row {
+			y[k] += cb * v
+		}
+	}
+	return y
+}
+
+// reducedCost computes c_j − y·A_j.
+func (s *simplex) reducedCost(cost []float64, y []float64, j int) float64 {
+	d := 0.0
+	if j < len(cost) {
+		d = cost[j]
+	}
+	for _, e := range s.cols[j] {
+		d -= y[e.Row] * e.Coef
+	}
+	return d
+}
+
+// ftran computes w = B⁻¹·A_j.
+func (s *simplex) ftran(j int, w []float64) {
+	for i := range w {
+		w[i] = 0
+	}
+	for _, e := range s.cols[j] {
+		coef := e.Coef
+		for i := 0; i < s.m; i++ {
+			w[i] += s.binv[i*s.m+e.Row] * coef
+		}
+	}
+}
+
+// iterate runs primal simplex pivots under the given cost vector until
+// optimality, unboundedness, or the iteration cap.
+func (s *simplex) iterate(cost []float64, maxIter int) (Status, error) {
+	w := make([]float64, s.m)
+	// Switch to Bland's rule after a degenerate streak long enough to
+	// suggest cycling rather than ordinary degeneracy.
+	blandAfter := 200 + (s.m+len(s.cols))/4
+	degenerate := 0
+	sinceRefactor := 0
+
+	startIters := s.iters
+	for {
+		if s.iters >= maxIter {
+			return 0, fmt.Errorf("%w (m=%d n=%d phaseIters=%d degenerateStreak=%d bland=%v)",
+				ErrIterationLimit, s.m, len(s.cols), s.iters-startIters, degenerate, degenerate > blandAfter)
+		}
+		y := s.duals(cost)
+
+		// Pricing: Dantzig rule; Bland's rule after a long
+		// degenerate streak to guarantee termination.
+		enter := -1
+		var enterDir float64 // +1 entering rises from lower, −1 falls from upper
+		useBland := degenerate > blandAfter
+		best := 0.0
+		for j := 0; j < len(s.cols); j++ {
+			if s.status[j] == basic {
+				continue
+			}
+			// Scale-aware optimality tolerance: with objective
+			// coefficients spanning many orders of magnitude (the
+			// PLAN-VNE costs reach 1e8), an absolute cutoff chases
+			// floating-point phantoms in c_j − y·A_j forever.
+			tol := dualTol * (1 + math.Abs(costOf(cost, j)))
+			switch s.status[j] {
+			case atLower:
+				d := s.reducedCost(cost, y, j)
+				if d < -tol && s.lo[j] < s.up[j] {
+					if useBland {
+						enter, enterDir = j, 1
+					} else if -d > best {
+						best, enter, enterDir = -d, j, 1
+					}
+				}
+			case atUpper:
+				d := s.reducedCost(cost, y, j)
+				if d > tol {
+					if useBland {
+						enter, enterDir = j, -1
+					} else if d > best {
+						best, enter, enterDir = d, j, -1
+					}
+				}
+			}
+			if useBland && enter >= 0 {
+				break
+			}
+		}
+		if enter < 0 {
+			return Optimal, nil
+		}
+
+		s.ftran(enter, w)
+
+		if useBland {
+			// Strict Bland ratio test: exact limits, ties broken
+			// by smallest basis column index. Together with
+			// lowest-index pricing this guarantees termination.
+			st, done := s.blandPivot(enter, enterDir, w, &degenerate)
+			if done {
+				return st, nil
+			}
+			sinceRefactor++
+			if sinceRefactor >= 100 {
+				if err := s.refactorize(); err != nil {
+					return 0, err
+				}
+				sinceRefactor = 0
+			}
+			continue
+		}
+
+		// Exact two-pass ratio test. The entering variable moves by
+		// t ≥ 0 in direction enterDir; basic variable i changes by
+		// −enterDir·w[i]·t. Pass 1 finds the exact minimum ratio;
+		// pass 2 picks, among rows tied (within numerical noise) at
+		// that minimum, the one with the largest pivot magnitude for
+		// numerical stability. Unlike a Harris test with a relaxed
+		// pass 1, exact limits cannot accumulate row infeasibility
+		// across iterations (which previously caused stalling on the
+		// SLOTOFF master problems).
+		tBound := s.up[enter] - s.lo[enter] // bound-flip limit
+		rmin := tBound
+		for i := 0; i < s.m; i++ {
+			delta := -enterDir * w[i]
+			bj := s.basis[i]
+			var lim float64
+			switch {
+			case delta < -pivotTol: // basic value falls toward its lower bound
+				lim = snapSlack(s.xB[i]-s.lo[bj]) / -delta
+			case delta > pivotTol: // basic value rises toward its upper bound
+				if math.IsInf(s.up[bj], 1) {
+					continue
+				}
+				lim = snapSlack(s.up[bj]-s.xB[i]) / delta
+			default:
+				continue
+			}
+			if lim < rmin {
+				rmin = lim
+			}
+		}
+		if math.IsInf(rmin, 1) {
+			return Unbounded, nil
+		}
+		leave := -1
+		leaveToUpper := false
+		tMax := rmin
+		bestPivot := 0.0
+		// Select the leaving row with the largest pivot magnitude among
+		// rows tied at the minimum ratio. If the best tie pivot is
+		// numerically weak, widen the tie band once — trading a bounded
+		// (≤ feasTol-scale) ratio violation for basis conditioning.
+		for _, tieScale := range []float64{1e-9, 1e-7} {
+			tie := rmin + tieScale*(1+rmin)
+			for i := 0; i < s.m; i++ {
+				delta := -enterDir * w[i]
+				bj := s.basis[i]
+				var lim float64
+				var toUpper bool
+				switch {
+				case delta < -pivotTol:
+					lim, toUpper = snapSlack(s.xB[i]-s.lo[bj])/-delta, false
+				case delta > pivotTol:
+					if math.IsInf(s.up[bj], 1) {
+						continue
+					}
+					lim, toUpper = snapSlack(s.up[bj]-s.xB[i])/delta, true
+				default:
+					continue
+				}
+				if lim > tie {
+					continue
+				}
+				if piv := math.Abs(delta); piv > bestPivot {
+					bestPivot, leave, leaveToUpper = piv, i, toUpper
+				}
+			}
+			if bestPivot >= weakPivot {
+				break
+			}
+		}
+		if tMax < 0 {
+			tMax = 0
+		}
+		if tMax < feasTol {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+		s.iters++
+
+		// Apply the step to the basic values.
+		if tMax > 0 {
+			for i := 0; i < s.m; i++ {
+				s.xB[i] -= enterDir * w[i] * tMax
+			}
+		}
+
+		if leave < 0 {
+			// Bound flip: entering variable jumps to its other bound.
+			if enterDir > 0 {
+				s.status[enter] = atUpper
+				s.xN[enter] = s.up[enter]
+			} else {
+				s.status[enter] = atLower
+				s.xN[enter] = s.lo[enter]
+			}
+			continue
+		}
+
+		// Pivot: enter replaces basis[leave].
+		exiting := s.basis[leave]
+		if leaveToUpper {
+			s.status[exiting] = atUpper
+			s.xN[exiting] = s.up[exiting]
+		} else {
+			s.status[exiting] = atLower
+			s.xN[exiting] = s.lo[exiting]
+		}
+		enterVal := s.xN[enter] + enterDir*tMax
+		s.basis[leave] = enter
+		s.status[enter] = basic
+		s.xB[leave] = enterVal
+
+		s.updateBinv(leave, w)
+		sinceRefactor++
+		if sinceRefactor >= 100 {
+			if err := s.refactorize(); err != nil {
+				return 0, err
+			}
+			sinceRefactor = 0
+		}
+	}
+}
+
+// blandPivot performs one simplex step with the exact (non-relaxed) ratio
+// test and Bland tie-breaking (smallest basis column index), which — with
+// lowest-index pricing — provably terminates on degenerate cycles.
+// It returns (Unbounded, true) if the step is unbounded.
+func (s *simplex) blandPivot(enter int, enterDir float64, w []float64, degenerate *int) (Status, bool) {
+	const tieTol = 1e-12
+	// Pass 1: exact minimum ratio, including the entering variable's
+	// own bound span.
+	rmin := s.up[enter] - s.lo[enter]
+	for i := 0; i < s.m; i++ {
+		delta := -enterDir * w[i]
+		bj := s.basis[i]
+		var lim float64
+		switch {
+		case delta < -pivotTol:
+			lim = snapSlack(s.xB[i]-s.lo[bj]) / -delta
+		case delta > pivotTol:
+			if math.IsInf(s.up[bj], 1) {
+				continue
+			}
+			lim = snapSlack(s.up[bj]-s.xB[i]) / delta
+		default:
+			continue
+		}
+		if lim < rmin {
+			rmin = lim
+		}
+	}
+	if math.IsInf(rmin, 1) {
+		return Unbounded, true
+	}
+	// Pass 2: among rows achieving the minimum, the smallest basis
+	// column index leaves.
+	leave := -1
+	leaveToUpper := false
+	for i := 0; i < s.m; i++ {
+		delta := -enterDir * w[i]
+		bj := s.basis[i]
+		var lim float64
+		var toUpper bool
+		switch {
+		case delta < -pivotTol:
+			lim, toUpper = snapSlack(s.xB[i]-s.lo[bj])/-delta, false
+		case delta > pivotTol:
+			if math.IsInf(s.up[bj], 1) {
+				continue
+			}
+			lim, toUpper = snapSlack(s.up[bj]-s.xB[i])/delta, true
+		default:
+			continue
+		}
+		if lim <= rmin+tieTol && (leave < 0 || bj < s.basis[leave]) {
+			leave, leaveToUpper = i, toUpper
+		}
+	}
+	if rmin < feasTol {
+		*degenerate++
+	} else {
+		*degenerate = 0
+	}
+	s.iters++
+	if rmin > 0 {
+		for i := 0; i < s.m; i++ {
+			s.xB[i] -= enterDir * w[i] * rmin
+		}
+	}
+	if leave < 0 {
+		// Bound flip.
+		if enterDir > 0 {
+			s.status[enter] = atUpper
+			s.xN[enter] = s.up[enter]
+		} else {
+			s.status[enter] = atLower
+			s.xN[enter] = s.lo[enter]
+		}
+		return 0, false
+	}
+	exiting := s.basis[leave]
+	if leaveToUpper {
+		s.status[exiting] = atUpper
+		s.xN[exiting] = s.up[exiting]
+	} else {
+		s.status[exiting] = atLower
+		s.xN[exiting] = s.lo[exiting]
+	}
+	s.basis[leave] = enter
+	s.status[enter] = basic
+	s.xB[leave] = s.xN[enter] + enterDir*rmin
+	s.updateBinv(leave, w)
+	return 0, false
+}
+
+// costOf returns the phase cost of column j (0 for columns beyond the
+// cost vector, i.e. artificials in phase 2).
+func costOf(cost []float64, j int) float64 {
+	if j < len(cost) {
+		return cost[j]
+	}
+	return 0
+}
+
+// snapSlack treats a basic variable's distance to its bound as exactly
+// zero when it is within the feasibility tolerance (including slightly
+// negative from floating-point noise). Without the snap, noise-level
+// slacks produce endless ~1e-9 micro-steps that never trip the degeneracy
+// guard — the stall observed on the SLOTOFF master problems.
+func snapSlack(d float64) float64 {
+	if d < feasTol {
+		return 0
+	}
+	return d
+}
+
+// updateBinv applies the elementary pivot transformation so that binv
+// remains the inverse of the new basis: row r scaled by 1/w_r, other rows
+// i reduced by w_i× the scaled row.
+func (s *simplex) updateBinv(r int, w []float64) {
+	piv := w[r]
+	rowR := s.binv[r*s.m : (r+1)*s.m]
+	inv := 1 / piv
+	for k := range rowR {
+		rowR[k] *= inv
+	}
+	for i := 0; i < s.m; i++ {
+		if i == r {
+			continue
+		}
+		f := w[i]
+		if f == 0 {
+			continue
+		}
+		rowI := s.binv[i*s.m : (i+1)*s.m]
+		for k := range rowI {
+			rowI[k] -= f * rowR[k]
+		}
+	}
+}
+
+// refactorize recomputes the basis inverse from scratch (Gauss–Jordan with
+// partial pivoting) and recomputes the basic values, containing numerical
+// drift from repeated eta updates.
+func (s *simplex) refactorize() error {
+	m := s.m
+	// Assemble B and the identity side in one augmented matrix.
+	aug := make([]float64, m*2*m)
+	for i := 0; i < m; i++ {
+		aug[i*2*m+m+i] = 1
+	}
+	for col, j := range s.basis {
+		for _, e := range s.cols[j] {
+			aug[e.Row*2*m+col] = e.Coef
+		}
+	}
+	for col := 0; col < m; col++ {
+		// Partial pivot.
+		piv, pivRow := 0.0, -1
+		for i := col; i < m; i++ {
+			if v := math.Abs(aug[i*2*m+col]); v > piv {
+				piv, pivRow = v, i
+			}
+		}
+		if piv < pivotTol {
+			return errSingular
+		}
+		if pivRow != col {
+			for k := 0; k < 2*m; k++ {
+				aug[col*2*m+k], aug[pivRow*2*m+k] = aug[pivRow*2*m+k], aug[col*2*m+k]
+			}
+		}
+		inv := 1 / aug[col*2*m+col]
+		for k := 0; k < 2*m; k++ {
+			aug[col*2*m+k] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == col {
+				continue
+			}
+			f := aug[i*2*m+col]
+			if f == 0 {
+				continue
+			}
+			for k := 0; k < 2*m; k++ {
+				aug[i*2*m+k] -= f * aug[col*2*m+k]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		copy(s.binv[i*s.m:(i+1)*s.m], aug[i*2*m+m:i*2*m+2*m])
+	}
+	// Recompute xB = B⁻¹(b − N·x_N).
+	resid := append([]float64(nil), s.rhs...)
+	for j := range s.cols {
+		if s.status[j] == basic || s.xN[j] == 0 {
+			continue
+		}
+		for _, e := range s.cols[j] {
+			resid[e.Row] -= e.Coef * s.xN[j]
+		}
+	}
+	for i := 0; i < m; i++ {
+		v := 0.0
+		row := s.binv[i*m : (i+1)*m]
+		for k, r := range resid {
+			v += row[k] * r
+		}
+		s.xB[i] = v
+	}
+	return nil
+}

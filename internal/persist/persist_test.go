@@ -1,0 +1,164 @@
+package persist
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"github.com/olive-vne/olive/internal/plan"
+	"github.com/olive-vne/olive/internal/topo"
+	"github.com/olive-vne/olive/internal/vnet"
+	"github.com/olive-vne/olive/internal/workload"
+)
+
+func testRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 55)) }
+
+func TestTraceRoundTrip(t *testing.T) {
+	g := topo.MustBuild(topo.CittaStudi, 1)
+	rng := testRNG(2)
+	wp := workload.DefaultParams()
+	wp.Slots = 50
+	wp.LambdaPerNode = 2
+	tr, err := workload.GenerateMMPP(g, wp, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Slots != tr.Slots || len(got.Requests) != len(tr.Requests) {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+			got.Slots, len(got.Requests), tr.Slots, len(tr.Requests))
+	}
+	for i := range tr.Requests {
+		if got.Requests[i] != tr.Requests[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, got.Requests[i], tr.Requests[i])
+		}
+	}
+}
+
+func TestLoadTraceRejectsBadInput(t *testing.T) {
+	if _, err := LoadTrace(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadTrace(strings.NewReader(`{"version":99,"slots":1}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := LoadTrace(strings.NewReader(`{"version":1,"slots":0}`)); err == nil {
+		t.Error("invalid trace accepted")
+	}
+	if err := SaveTrace(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	g := topo.MustBuild(topo.CittaStudi, 1)
+	rng := testRNG(3)
+	apps := vnet.DefaultMix(vnet.DefaultParams(), rng)
+	wp := workload.DefaultParams().WithUtilization(1.2)
+	wp.Slots = 120
+	wp.LambdaPerNode = 3
+	hist, err := workload.GenerateMMPP(g, wp, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := plan.DefaultOptions()
+	opts.BootstrapB = 20
+	p, err := plan.BuildFromHistory(g, apps, hist, opts, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := SavePlan(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPlan(&buf, g, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Classes) != len(p.Classes) {
+		t.Fatalf("class count %d vs %d", len(got.Classes), len(p.Classes))
+	}
+	if err := got.Validate(g); err != nil {
+		t.Fatalf("loaded plan invalid: %v", err)
+	}
+	for i := range p.Classes {
+		want, have := p.Classes[i], got.Classes[i]
+		if want.Class != have.Class || math.Abs(want.Rejected-have.Rejected) > 1e-12 {
+			t.Fatalf("class %d differs: %+v vs %+v", i, have.Class, want.Class)
+		}
+		if len(want.Shares) != len(have.Shares) {
+			t.Fatalf("class %d share count %d vs %d", i, len(have.Shares), len(want.Shares))
+		}
+		for j := range want.Shares {
+			if math.Abs(want.Shares[j].Fraction-have.Shares[j].Fraction) > 1e-12 {
+				t.Fatalf("class %d share %d fraction differs", i, j)
+			}
+			// Costs recomputed on load must match exactly (same
+			// substrate, same mapping).
+			if math.Abs(want.Shares[j].E.UnitCost()-have.Shares[j].E.UnitCost()) > 1e-9 {
+				t.Fatalf("class %d share %d unit cost %g vs %g",
+					i, j, have.Shares[j].E.UnitCost(), want.Shares[j].E.UnitCost())
+			}
+		}
+		// Lookup still works.
+		if got.Lookup(want.Class.App, want.Class.Ingress) == nil {
+			t.Fatalf("loaded plan cannot look up class %d", i)
+		}
+	}
+}
+
+func TestLoadPlanRejectsMismatchedApps(t *testing.T) {
+	g := topo.MustBuild(topo.CittaStudi, 1)
+	rng := testRNG(4)
+	apps := vnet.DefaultMix(vnet.DefaultParams(), rng)
+	wp := workload.DefaultParams().WithUtilization(1.0)
+	wp.Slots = 100
+	wp.LambdaPerNode = 2
+	hist, err := workload.GenerateMMPP(g, wp, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := plan.DefaultOptions()
+	opts.BootstrapB = 20
+	p, err := plan.BuildFromHistory(g, apps, hist, opts, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SavePlan(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	// Loading against a different application set must fail validation
+	// (different VNF/link arity with overwhelming probability).
+	other := vnet.DefaultMix(vnet.DefaultParams(), testRNG(999))
+	if _, err := LoadPlan(bytes.NewReader(buf.Bytes()), g, other[:1]); err == nil {
+		t.Error("plan loaded against a 1-app set")
+	}
+}
+
+func TestLoadPlanRejectsBadInput(t *testing.T) {
+	g := topo.MustBuild(topo.CittaStudi, 1)
+	apps := vnet.DefaultMix(vnet.DefaultParams(), testRNG(5))
+	if _, err := LoadPlan(strings.NewReader("nope"), g, apps); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadPlan(strings.NewReader(`{"version":2}`), g, apps); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := LoadPlan(strings.NewReader(`{"version":1,"classes":[{"app":77}]}`), g, apps); err == nil {
+		t.Error("out-of-range app accepted")
+	}
+	if err := SavePlan(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil plan accepted")
+	}
+}

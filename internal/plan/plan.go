@@ -1,0 +1,614 @@
+// Package plan implements the offline half of the paper's contribution:
+// time-aggregation of the request history into per-(application, ingress)
+// classes (§III-A) and the PLAN-VNE linear program with rejection quantiles
+// (§III-B, Fig. 4), solved by Dantzig–Wolfe column generation over integral
+// candidate embeddings priced by the exact embedder.
+//
+// The resulting Plan decomposes each class's planned allocation into
+// shares — (integral embedding, fraction) pairs — the share-decomposed form
+// of the y_s^q(r̃) variables of Fig. 4 (see DESIGN.md §4). OLIVE consumes
+// the shares as its residual plan.
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strings"
+
+	"github.com/olive-vne/olive/internal/embedder"
+	"github.com/olive-vne/olive/internal/graph"
+	"github.com/olive-vne/olive/internal/lp"
+	"github.com/olive-vne/olive/internal/stats"
+	"github.com/olive-vne/olive/internal/vnet"
+	"github.com/olive-vne/olive/internal/workload"
+)
+
+// Class is one aggregate request r̃: all history requests sharing an
+// application and an ingress node, with the expected aggregated demand
+// d(r̃) estimated from the history.
+type Class struct {
+	// App indexes the run's application set.
+	App int
+	// Ingress is the shared user location v(r̃).
+	Ingress graph.NodeID
+	// Demand is d(r̃): the bootstrap-estimated α-percentile of the
+	// per-slot active demand of the class (Eq. 6).
+	Demand float64
+}
+
+// Share is one fractional slice of a class's planned allocation: Fraction
+// of the class demand is planned onto the integral embedding E.
+type Share struct {
+	E        *vnet.Embedding
+	Fraction float64
+}
+
+// ClassPlan is the plan for one class: its shares and the fraction the
+// plan itself rejects (Σ_p y_p of Fig. 4).
+type ClassPlan struct {
+	Class    Class
+	Shares   []Share
+	Rejected float64
+}
+
+// PlannedDemand returns the demand volume the plan guarantees this class:
+// d(r̃)·Σφ. This is the "guaranteed demand" threshold of Fig. 12.
+func (cp *ClassPlan) PlannedDemand() float64 {
+	var f float64
+	for _, s := range cp.Shares {
+		f += s.Fraction
+	}
+	return cp.Class.Demand * f
+}
+
+// Plan is a complete PLAN-VNE solution.
+type Plan struct {
+	Classes []ClassPlan
+	// Obj is the LP objective (resource cost + quantile rejection cost).
+	Obj float64
+	// Iterations counts total simplex pivots across pricing rounds.
+	Iterations int
+	// PricingRounds counts column-generation rounds performed.
+	PricingRounds int
+
+	index map[classKey]int
+}
+
+type classKey struct {
+	app     int
+	ingress graph.NodeID
+}
+
+// Lookup returns the plan of the class (app, ingress), or nil if the
+// history contained no such class.
+func (p *Plan) Lookup(app int, ingress graph.NodeID) *ClassPlan {
+	if p == nil {
+		return nil
+	}
+	if i, ok := p.index[classKey{app, ingress}]; ok {
+		return &p.Classes[i]
+	}
+	return nil
+}
+
+// LookupIndex returns the index into Classes of the class (app, ingress);
+// ok is false if the plan has no such class.
+func (p *Plan) LookupIndex(app int, ingress graph.NodeID) (int, bool) {
+	if p == nil {
+		return 0, false
+	}
+	i, ok := p.index[classKey{app, ingress}]
+	return i, ok
+}
+
+// Empty reports whether the plan has no classes (QUICKG runs OLIVE with an
+// empty plan).
+func (p *Plan) Empty() bool { return p == nil || len(p.Classes) == 0 }
+
+// buildIndex (re)builds the lookup index.
+func (p *Plan) buildIndex() {
+	p.index = make(map[classKey]int, len(p.Classes))
+	for i, c := range p.Classes {
+		p.index[classKey{c.Class.App, c.Class.Ingress}] = i
+	}
+}
+
+// FromClasses assembles a Plan from pre-built class plans — the
+// persistence layer's loader and tests use it. The lookup index is built;
+// callers should Validate against their substrate.
+func FromClasses(classes []ClassPlan, obj float64) *Plan {
+	p := &Plan{Classes: classes, Obj: obj}
+	p.buildIndex()
+	return p
+}
+
+// Aggregate groups the request history by (application, ingress) and
+// estimates each class's expected aggregated demand as the bootstrap
+// α-percentile of its per-slot active demand (Eqs. 5–6). Classes whose
+// estimate is zero are dropped.
+func Aggregate(hist *workload.Trace, numApps int, alpha float64, bootstrapB int, rng *rand.Rand) ([]Class, error) {
+	if hist == nil || hist.Slots <= 0 {
+		return nil, errors.New("plan: empty history")
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("plan: percentile α=%g outside (0,1]", alpha)
+	}
+	// diff[key][t] accumulates arrival/departure demand deltas.
+	type seriesKey struct {
+		app     int
+		ingress graph.NodeID
+	}
+	diffs := make(map[seriesKey][]float64)
+	for _, r := range hist.Requests {
+		if r.App < 0 || r.App >= numApps {
+			return nil, fmt.Errorf("plan: request %d references app %d of %d", r.ID, r.App, numApps)
+		}
+		k := seriesKey{r.App, r.Ingress}
+		d := diffs[k]
+		if d == nil {
+			d = make([]float64, hist.Slots+1)
+			diffs[k] = d
+		}
+		d[r.Arrive] += r.Demand
+		dep := r.Departs()
+		if dep > hist.Slots {
+			dep = hist.Slots
+		}
+		d[dep] -= r.Demand
+	}
+	classes := make([]Class, 0, len(diffs))
+	for k, d := range diffs {
+		series := make([]float64, hist.Slots)
+		var acc float64
+		for t := 0; t < hist.Slots; t++ {
+			acc += d[t]
+			series[t] = acc
+		}
+		est, err := stats.BootstrapQuantile(series, alpha, bootstrapB, rng)
+		if err != nil {
+			return nil, fmt.Errorf("plan: class (%d,%d): %w", k.app, k.ingress, err)
+		}
+		if est.Estimate <= 0 {
+			continue
+		}
+		classes = append(classes, Class{App: k.app, Ingress: k.ingress, Demand: est.Estimate})
+	}
+	sortClasses(classes)
+	return classes, nil
+}
+
+func sortClasses(cs []Class) {
+	// Deterministic order (map iteration above is random): by ingress,
+	// then app.
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && less(cs[j], cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+func less(a, b Class) bool {
+	if a.Ingress != b.Ingress {
+		return a.Ingress < b.Ingress
+	}
+	return a.App < b.App
+}
+
+// Options configures plan construction.
+type Options struct {
+	// Quantiles is P, the rejection-quantile count (10 in the paper;
+	// Fig. 11 sweeps 1–50). Must be ≥ 1.
+	Quantiles int
+	// Alpha is the demand percentile for aggregation (0.8).
+	Alpha float64
+	// BootstrapB is the bootstrap replicate count for P̂α.
+	BootstrapB int
+	// InitialCandidates is the number of collocated seed columns per
+	// class.
+	InitialCandidates int
+	// MaxPricingRounds bounds column generation (0 disables pricing —
+	// the plan is built from the seed columns only; the ablation bench
+	// uses this).
+	MaxPricingRounds int
+	// RejectionFactor is ψ. Zero selects the paper's conservative
+	// default: the cost of placing every element of the application on
+	// the most expensive substrate element of its type.
+	RejectionFactor float64
+}
+
+// DefaultOptions returns the paper's plan parameters.
+func DefaultOptions() Options {
+	return Options{
+		Quantiles:         10,
+		Alpha:             0.8,
+		BootstrapB:        100,
+		InitialCandidates: 4,
+		MaxPricingRounds:  8,
+	}
+}
+
+// DefaultRejectionFactor returns the paper's ψ for one application: the
+// cost of allocating each virtual element on the most expensive substrate
+// element of its kind (§IV-B "Request embedding cost").
+func DefaultRejectionFactor(g *graph.Graph, app *vnet.App) float64 {
+	var maxNode, maxLink float64
+	for _, n := range g.Nodes() {
+		if n.Cost > maxNode {
+			maxNode = n.Cost
+		}
+	}
+	for _, l := range g.Links() {
+		if l.Cost > maxLink {
+			maxLink = l.Cost
+		}
+	}
+	return app.TotalNodeSize()*maxNode + app.TotalLinkSize()*maxLink
+}
+
+// Build solves PLAN-VNE for the given classes and returns the plan.
+func Build(g *graph.Graph, apps []*vnet.App, classes []Class, opts Options) (*Plan, error) {
+	if len(classes) == 0 {
+		p := &Plan{}
+		p.buildIndex()
+		return p, nil
+	}
+	if opts.Quantiles < 1 {
+		return nil, errors.New("plan: Quantiles must be ≥ 1")
+	}
+	for _, c := range classes {
+		if c.App < 0 || c.App >= len(apps) {
+			return nil, fmt.Errorf("plan: class references app %d of %d", c.App, len(apps))
+		}
+		if c.Demand <= 0 {
+			return nil, fmt.Errorf("plan: class (%d,%d) has non-positive demand", c.App, c.Ingress)
+		}
+	}
+
+	m := newMaster(g, apps, classes, opts)
+	if err := m.seedColumns(); err != nil {
+		return nil, err
+	}
+
+	var sol *lp.Solution
+	rounds := 0
+	for {
+		var err error
+		sol, err = m.prob.Solve()
+		if err != nil {
+			return nil, fmt.Errorf("plan: master LP: %w", err)
+		}
+		if sol.Status != lp.Optimal {
+			return nil, fmt.Errorf("plan: master LP %v (the rejection quantiles should make it always feasible)", sol.Status)
+		}
+		if rounds >= opts.MaxPricingRounds {
+			break
+		}
+		added := m.price(sol)
+		rounds++
+		if added == 0 {
+			break
+		}
+	}
+
+	p := &Plan{Obj: sol.Obj, Iterations: sol.Iterations, PricingRounds: rounds}
+	p.Classes = m.extract(sol)
+	p.buildIndex()
+	return p, nil
+}
+
+// BuildFromHistory aggregates hist and builds the plan in one call.
+func BuildFromHistory(g *graph.Graph, apps []*vnet.App, hist *workload.Trace, opts Options, rng *rand.Rand) (*Plan, error) {
+	classes, err := Aggregate(hist, len(apps), opts.Alpha, opts.BootstrapB, rng)
+	if err != nil {
+		return nil, err
+	}
+	return Build(g, apps, classes, opts)
+}
+
+// master is the column-generation master problem.
+type master struct {
+	g       *graph.Graph
+	apps    []*vnet.App
+	classes []Class
+	opts    Options
+	psi     []float64 // ψ per class
+
+	prob    *lp.Problem
+	elemRow map[graph.ElementID]int // lazily created capacity rows
+	convRow []int                   // convexity row per class
+
+	// cols tracks structural embedding columns: class index, embedding.
+	colClass []int
+	colEmb   []*vnet.Embedding
+	sigs     map[string]bool // dedup of (class, embedding) columns
+
+	// quantile column index range per class.
+	quantCols [][]int
+}
+
+func newMaster(g *graph.Graph, apps []*vnet.App, classes []Class, opts Options) *master {
+	m := &master{
+		g: g, apps: apps, classes: classes, opts: opts,
+		prob:    lp.NewProblem(),
+		elemRow: make(map[graph.ElementID]int),
+		sigs:    make(map[string]bool),
+	}
+	m.psi = make([]float64, len(classes))
+	for i, c := range classes {
+		if opts.RejectionFactor > 0 {
+			m.psi[i] = opts.RejectionFactor
+		} else {
+			m.psi[i] = DefaultRejectionFactor(g, apps[c.App])
+		}
+	}
+	// Convexity rows and quantile columns.
+	m.convRow = make([]int, len(classes))
+	m.quantCols = make([][]int, len(classes))
+	P := opts.Quantiles
+	for i, c := range classes {
+		m.convRow[i] = m.prob.AddRow(lp.EQ, 1)
+		for p := 1; p <= P; p++ {
+			cost := m.psi[i] * c.Demand * float64(p)
+			v := m.prob.MustAddVar(cost, 0, 1/float64(P), []lp.Entry{{Row: m.convRow[i], Coef: 1}})
+			m.quantCols[i] = append(m.quantCols[i], v)
+		}
+	}
+	return m
+}
+
+// rowFor returns (creating on demand) the capacity row of element e.
+func (m *master) rowFor(e graph.ElementID) int {
+	if r, ok := m.elemRow[e]; ok {
+		return r
+	}
+	r := m.prob.AddRow(lp.LE, m.g.ElementCap(e))
+	m.elemRow[e] = r
+	return r
+}
+
+// addColumn inserts the embedding as a candidate for class ci; returns
+// false if an identical column already exists.
+func (m *master) addColumn(ci int, e *vnet.Embedding) bool {
+	sig := fmt.Sprintf("%d|%s", ci, embSignature(e))
+	if m.sigs[sig] {
+		return false
+	}
+	m.sigs[sig] = true
+	d := m.classes[ci].Demand
+	entries := []lp.Entry{{Row: m.convRow[ci], Coef: 1}}
+	for _, u := range e.UnitUse() {
+		entries = append(entries, lp.Entry{Row: m.rowFor(u.Elem), Coef: u.Amount * d})
+	}
+	m.prob.MustAddVar(e.UnitCost()*d, 0, 1, entries)
+	m.colClass = append(m.colClass, ci)
+	m.colEmb = append(m.colEmb, e)
+	return true
+}
+
+func embSignature(e *vnet.Embedding) string {
+	var b strings.Builder
+	for _, n := range e.NodeMap {
+		fmt.Fprintf(&b, "n%d,", n)
+	}
+	for _, p := range e.PathMap {
+		for _, l := range p.Links {
+			fmt.Fprintf(&b, "l%d,", l)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// seedColumns creates the initial candidate columns: the k cheapest
+// collocated embeddings plus the exact min-cost embedding, per class.
+func (m *master) seedColumns() error {
+	oracle := embedder.NewOracle(m.g, embedder.CostPrices(m.g))
+	seeded := 0
+	for ci, c := range m.classes {
+		app := m.apps[c.App]
+		for _, e := range oracle.KCheapestCollocated(app, c.Ingress, m.opts.InitialCandidates) {
+			if m.addColumn(ci, e) {
+				seeded++
+			}
+		}
+		if e, _, ok := oracle.MinCostEmbed(app, c.Ingress); ok {
+			if m.addColumn(ci, e) {
+				seeded++
+			}
+		}
+	}
+	if seeded == 0 {
+		return errors.New("plan: no class admits any embedding (all placements excluded)")
+	}
+	return nil
+}
+
+// price runs the Dantzig–Wolfe pricing round: for each class, find the
+// min-reduced-cost embedding under dual-adjusted element prices and add it
+// if it improves. Returns the number of columns added.
+func (m *master) price(sol *lp.Solution) int {
+	elemDual := make([]float64, m.g.NumElements())
+	for e, row := range m.elemRow {
+		elemDual[e] = sol.Dual[row]
+	}
+	oracle := embedder.NewOracle(m.g, embedder.AdjustedPrices(m.g, elemDual))
+	const tol = 1e-6
+	added := 0
+	for ci, c := range m.classes {
+		e, price, ok := oracle.MinCostEmbed(m.apps[c.App], c.Ingress)
+		if !ok {
+			continue
+		}
+		sigma := sol.Dual[m.convRow[ci]]
+		if c.Demand*price-sigma < -tol {
+			if m.addColumn(ci, e) {
+				added++
+			}
+		}
+	}
+	return added
+}
+
+// extract reads the optimal basis into per-class plans.
+func (m *master) extract(sol *lp.Solution) []ClassPlan {
+	const eps = 1e-7
+	plans := make([]ClassPlan, len(m.classes))
+	for i, c := range m.classes {
+		plans[i].Class = c
+		for _, qc := range m.quantCols[i] {
+			plans[i].Rejected += sol.X[qc]
+		}
+	}
+	// Embedding columns follow the quantile columns in creation order;
+	// their variable indices are len(quantCols all) + k. Track via the
+	// LP indices implicitly: quantile vars were created first, so
+	// structural embedding column k has index base+k.
+	base := 0
+	for i := range m.quantCols {
+		base += len(m.quantCols[i])
+	}
+	for k, ci := range m.colClass {
+		frac := sol.X[base+k]
+		if frac > eps {
+			plans[ci].Shares = append(plans[ci].Shares, Share{E: m.colEmb[k], Fraction: frac})
+		}
+	}
+	// Normalize tiny numerical drift: clamp fractions into [0,1].
+	for i := range plans {
+		var tot float64
+		for j := range plans[i].Shares {
+			if plans[i].Shares[j].Fraction > 1 {
+				plans[i].Shares[j].Fraction = 1
+			}
+			tot += plans[i].Shares[j].Fraction
+		}
+		if tot > 1 {
+			scale := 1 / tot
+			for j := range plans[i].Shares {
+				plans[i].Shares[j].Fraction *= scale
+			}
+		}
+		if plans[i].Rejected < 0 {
+			plans[i].Rejected = 0
+		}
+		if plans[i].Rejected > 1 {
+			plans[i].Rejected = 1
+		}
+	}
+	return plans
+}
+
+// TotalPlannedLoad returns the load the plan places on every substrate
+// element (CU, per-slot steady state) — used by validation and
+// diagnostics.
+func (p *Plan) TotalPlannedLoad(numElements int) []float64 {
+	load := make([]float64, numElements)
+	for _, cp := range p.Classes {
+		for _, s := range cp.Shares {
+			// Apply subtracts usage from a residual vector; applying a
+			// negated demand accumulates positive load.
+			s.E.Apply(load, -s.Fraction*cp.Class.Demand)
+		}
+	}
+	return load
+}
+
+// Validate checks plan invariants against the substrate: share fractions
+// in [0,1] with Σφ + rejected ≤ 1+ε per class, and total planned load
+// within capacity.
+func (p *Plan) Validate(g *graph.Graph) error {
+	const eps = 1e-5
+	for _, cp := range p.Classes {
+		var f float64
+		for _, s := range cp.Shares {
+			if s.Fraction < -eps || s.Fraction > 1+eps {
+				return fmt.Errorf("plan: class (%d,%d) share fraction %g outside [0,1]",
+					cp.Class.App, cp.Class.Ingress, s.Fraction)
+			}
+			f += s.Fraction
+		}
+		if f+cp.Rejected > 1+1e-3 {
+			return fmt.Errorf("plan: class (%d,%d) allocates %g + rejects %g > 1",
+				cp.Class.App, cp.Class.Ingress, f, cp.Rejected)
+		}
+	}
+	load := p.TotalPlannedLoad(g.NumElements())
+	for e := range load {
+		cap := g.ElementCap(graph.ElementID(e))
+		if load[e] > cap*(1+1e-6)+1e-6 {
+			return fmt.Errorf("plan: element %d planned load %g exceeds capacity %g", e, load[e], cap)
+		}
+	}
+	return nil
+}
+
+// RejectionBalance summarizes how evenly the plan spreads rejection across
+// the applications sharing each ingress node, mirroring the structure of
+// the paper's rejection balance index (Eq. 20): a per-node Jain index over
+// per-application rejected demand, averaged over nodes weighted by the
+// node's total class demand. Nodes where no application rejects contribute
+// a perfect score. 1 = rejection perfectly even across applications.
+func (p *Plan) RejectionBalance() float64 {
+	perNode := make(map[graph.NodeID][]float64)
+	weight := make(map[graph.NodeID]float64)
+	for _, cp := range p.Classes {
+		v := cp.Class.Ingress
+		perNode[v] = append(perNode[v], cp.Rejected*cp.Class.Demand)
+		weight[v] += cp.Class.Demand
+	}
+	var wSum, acc float64
+	for v, xs := range perNode {
+		rejects := false
+		for _, x := range xs {
+			if x > 0 {
+				rejects = true
+				break
+			}
+		}
+		if !rejects {
+			continue // no rejection at this node: uninformative
+		}
+		wSum += weight[v]
+		acc += weight[v] * stats.JainIndex(xs)
+	}
+	if wSum == 0 {
+		return 1
+	}
+	return acc / wSum
+}
+
+// ElementUtilization describes the planned load on one substrate element.
+type ElementUtilization struct {
+	Elem graph.ElementID
+	// Name is the element's human-readable name.
+	Name string
+	// Load is the planned steady-state load in CU.
+	Load float64
+	// Cap is the element's capacity in CU.
+	Cap float64
+	// Frac is Load/Cap.
+	Frac float64
+}
+
+// UtilizationReport returns the planned load of every substrate element
+// carrying any planned demand, sorted by descending utilization fraction —
+// the capacity-planning view of the plan (see examples/capacityplanning).
+func (p *Plan) UtilizationReport(g *graph.Graph) []ElementUtilization {
+	load := p.TotalPlannedLoad(g.NumElements())
+	out := make([]ElementUtilization, 0, len(load))
+	for e, l := range load {
+		if l <= 0 {
+			continue
+		}
+		elem := graph.ElementID(e)
+		cap := g.ElementCap(elem)
+		out = append(out, ElementUtilization{
+			Elem: elem, Name: g.ElementName(elem),
+			Load: l, Cap: cap, Frac: l / cap,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Frac > out[j].Frac })
+	return out
+}

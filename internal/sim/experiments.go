@@ -1,0 +1,506 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/olive-vne/olive/internal/core"
+	"github.com/olive-vne/olive/internal/plan"
+	"github.com/olive-vne/olive/internal/topo"
+	"github.com/olive-vne/olive/internal/vnet"
+)
+
+// Table is a printable experiment result: the rows/series a paper figure
+// or table reports.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint writes the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	fmt.Fprintln(w)
+}
+
+// Scale bundles the knobs that trade fidelity for runtime. PaperScale
+// reproduces Table III; SmokeScale shrinks every dimension for tests and
+// benchmark smoke runs while preserving the comparisons' shape.
+type Scale struct {
+	Reps          int
+	HistSlots     int
+	OnlineSlots   int
+	LambdaPerNode float64
+	MeasureFrom   int
+	MeasureTo     int
+	Utils         []float64
+	Seed          uint64
+}
+
+// PaperScale returns the full Table III parameters (30 reps × 6000 slots).
+func PaperScale() Scale {
+	return Scale{
+		Reps: 30, HistSlots: 5400, OnlineSlots: 600, LambdaPerNode: 10,
+		MeasureFrom: 100, MeasureTo: 500,
+		Utils: []float64{0.6, 0.8, 1.0, 1.2, 1.4},
+		Seed:  1,
+	}
+}
+
+// SmokeScale returns a reduced configuration (~100× fewer requests) for
+// tests and smoke benches.
+func SmokeScale() Scale {
+	return Scale{
+		Reps: 2, HistSlots: 150, OnlineSlots: 50, LambdaPerNode: 3,
+		MeasureFrom: 5, MeasureTo: 45,
+		Utils: []float64{0.6, 1.0, 1.4},
+		Seed:  1,
+	}
+}
+
+func (s Scale) config(t topo.Name, util float64) Config {
+	c := DefaultConfig(t, util, s.Seed)
+	c.HistSlots = s.HistSlots
+	c.OnlineSlots = s.OnlineSlots
+	c.LambdaPerNode = s.LambdaPerNode
+	c.MeasureFrom = s.MeasureFrom
+	c.MeasureTo = s.MeasureTo
+	if s.HistSlots < 1000 {
+		c.PlanOptions.BootstrapB = 30
+		c.PlanOptions.MaxPricingRounds = 4
+	}
+	return c
+}
+
+func fmtCI(m MetricSummary) string {
+	return fmt.Sprintf("%.3f±%.3f", m.Mean, m.Hi-m.Mean)
+}
+
+func fmtCIg(m MetricSummary) string {
+	return fmt.Sprintf("%.3g±%.2g", m.Mean, m.Hi-m.Mean)
+}
+
+// Fig6And7 regenerates Fig. 6 (rejection rate vs utilization) and Fig. 7
+// (total cost) for one topology: OLIVE vs QUICKG vs SLOTOFF over the
+// utilization sweep.
+func Fig6And7(t topo.Name, s Scale) (rejection, cost *Table, err error) {
+	rejection = &Table{
+		Title:  fmt.Sprintf("Fig. 6 (%s): rejection rate vs utilization", t),
+		Header: []string{"util", "OLIVE", "QUICKG", "SLOTOFF"},
+	}
+	cost = &Table{
+		Title:  fmt.Sprintf("Fig. 7 (%s): total cost vs utilization", t),
+		Header: []string{"util", "OLIVE", "QUICKG", "SLOTOFF"},
+	}
+	for _, u := range s.Utils {
+		rr, err := RunRepeated(s.config(t, u), s.Reps)
+		if err != nil {
+			return nil, nil, err
+		}
+		rejection.AddRow(fmt.Sprintf("%.0f%%", u*100),
+			fmtCI(rr.Rejection[core.AlgoOLIVE]),
+			fmtCI(rr.Rejection[core.AlgoQuickG]),
+			fmtCI(rr.Rejection[core.AlgoSlotOff]))
+		cost.AddRow(fmt.Sprintf("%.0f%%", u*100),
+			fmtCIg(rr.Cost[core.AlgoOLIVE]),
+			fmtCIg(rr.Cost[core.AlgoQuickG]),
+			fmtCIg(rr.Cost[core.AlgoSlotOff]))
+	}
+	return rejection, cost, nil
+}
+
+// Fig8 regenerates the burst zoom (Fig. 8): per-slot requested vs
+// allocated demand on Iris at 140% utilization over a 30-slot window
+// (slots 200–230 at paper scale; scaled proportionally otherwise).
+func Fig8(s Scale) (*Table, error) {
+	cfg := s.config(topo.Iris, 1.4)
+	rr, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	from := 200
+	if cfg.OnlineSlots < 230 {
+		from = cfg.OnlineSlots / 3
+	}
+	to := from + 30
+	if to > cfg.OnlineSlots {
+		to = cfg.OnlineSlots
+	}
+	tbl := &Table{
+		Title:  fmt.Sprintf("Fig. 8: allocated demand per slot, Iris @140%%, slots %d-%d (demand ÷100)", from, to),
+		Header: []string{"slot", "requested", "OLIVE", "QUICKG", "SLOTOFF"},
+	}
+	olive := rr.Results[core.AlgoOLIVE]
+	quick := rr.Results[core.AlgoQuickG]
+	slot := rr.Results[core.AlgoSlotOff]
+	for t := from; t < to; t++ {
+		tbl.AddRow(fmt.Sprintf("%d", t),
+			fmt.Sprintf("%.1f", olive.PerSlotRequested[t]/100),
+			fmt.Sprintf("%.1f", olive.PerSlotAccepted[t]/100),
+			fmt.Sprintf("%.1f", quick.PerSlotAccepted[t]/100),
+			fmt.Sprintf("%.1f", slot.PerSlotAccepted[t]/100))
+	}
+	return tbl, nil
+}
+
+// Fig9 regenerates the application-type sensitivity (Fig. 9): rejection
+// rate on Iris at 100% utilization with uniform app sets (chain, tree,
+// accelerator) and the default mix, for QUICKG, FULLG, OLIVE and SLOTOFF.
+func Fig9(s Scale) (*Table, error) {
+	tbl := &Table{
+		Title:  "Fig. 9: rejection rate by application type, Iris @100%",
+		Header: []string{"apps", "OLIVE", "QUICKG", "FULLG", "SLOTOFF"},
+	}
+	cases := []struct {
+		label string
+		kind  vnet.Kind
+	}{
+		{"Chain", vnet.KindChain},
+		{"Tree", vnet.KindTree},
+		{"Acc", vnet.KindAccelerator},
+		{"Mix", 0},
+	}
+	for _, c := range cases {
+		cfg := s.config(topo.Iris, 1.0)
+		cfg.AppKind = c.kind
+		cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE, core.AlgoQuickG, core.AlgoFullG, core.AlgoSlotOff}
+		rr, err := RunRepeated(cfg, s.Reps)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(c.label,
+			fmtCI(rr.Rejection[core.AlgoOLIVE]),
+			fmtCI(rr.Rejection[core.AlgoQuickG]),
+			fmtCI(rr.Rejection[core.AlgoFullG]),
+			fmtCI(rr.Rejection[core.AlgoSlotOff]))
+	}
+	return tbl, nil
+}
+
+// Fig10 regenerates the GPU scenario (Fig. 10): Iris split into GPU and
+// non-GPU datacenters, four GPU-chain applications, FULLG vs OLIVE vs
+// SLOTOFF (QUICKG cannot run: collocation is impossible for GPU chains).
+func Fig10(s Scale) (*Table, error) {
+	cfg := s.config(topo.Iris, 1.0)
+	cfg.GPU = true
+	cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE, core.AlgoFullG, core.AlgoSlotOff}
+	rr, err := RunRepeated(cfg, s.Reps)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		Title:  "Fig. 10: GPU scenario rejection rate, Iris @100%",
+		Header: []string{"algorithm", "rejection"},
+	}
+	tbl.AddRow("OLIVE", fmtCI(rr.Rejection[core.AlgoOLIVE]))
+	tbl.AddRow("FULLG", fmtCI(rr.Rejection[core.AlgoFullG]))
+	tbl.AddRow("SLOTOFF", fmtCI(rr.Rejection[core.AlgoSlotOff]))
+	return tbl, nil
+}
+
+// Fig11 regenerates the balance-index ablation (Fig. 11): the rejection
+// balance index (Eq. 20) of OLIVE with 1, 2, 10 and 50 quantiles, and of
+// QUICKG, on Iris at 140% utilization.
+func Fig11(s Scale) (*Table, error) {
+	tbl := &Table{
+		Title:  "Fig. 11: rejection balance index by quantiles, Iris @140%",
+		Header: []string{"variant", "balance index"},
+	}
+	for _, q := range []int{1, 2, 10, 50} {
+		cfg := s.config(topo.Iris, 1.4)
+		cfg.PlanOptions.Quantiles = q
+		cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE}
+		rr, err := RunRepeated(cfg, s.Reps)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(fmt.Sprintf("OLIVE P=%d", q), fmtCI(rr.Balance[core.AlgoOLIVE]))
+	}
+	cfg := s.config(topo.Iris, 1.4)
+	cfg.Algorithms = []core.Algorithm{core.AlgoQuickG}
+	rr, err := RunRepeated(cfg, s.Reps)
+	if err != nil {
+		return nil, err
+	}
+	tbl.AddRow("QUICKG", fmtCI(rr.Balance[core.AlgoQuickG]))
+	return tbl, nil
+}
+
+// Fig12 regenerates the per-node allocation detail (Fig. 12): OLIVE on
+// Iris at 100%, zooming into the Franklin edge node — per application, the
+// guaranteed (planned) demand threshold and the classification of its
+// requests into guaranteed / borrowed / preempted / rejected.
+func Fig12(s Scale) (*Table, error) {
+	cfg := s.config(topo.Iris, 1.0)
+	cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE}
+	rr, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	franklin, ok := topo.FindNode(rr.Substrate, "Franklin")
+	if !ok {
+		return nil, fmt.Errorf("sim: Iris lacks a Franklin node")
+	}
+	ar := rr.Results[core.AlgoOLIVE]
+	tbl := &Table{
+		Title:  "Fig. 12: Franklin node (Iris, MMPP) — OLIVE guaranteed demand vs actual allocation",
+		Header: []string{"app", "guaranteed demand", "peak active demand", "guaranteed", "borrowed", "preempted", "rejected"},
+	}
+	for appIdx, app := range rr.Apps {
+		var guar float64
+		if cp := rr.Plan.Lookup(appIdx, franklin); cp != nil {
+			guar = cp.PlannedDemand()
+		}
+		active := make([]float64, cfg.OnlineSlots+1)
+		var nGuar, nBorrow, nPreempt, nRej int
+		for _, rec := range ar.Log {
+			if rec.Ingress != franklin || rec.App != appIdx {
+				continue
+			}
+			switch {
+			case !rec.Accepted:
+				nRej++
+			case rec.Preempted:
+				nPreempt++
+			case rec.Planned:
+				nGuar++
+			default:
+				nBorrow++
+			}
+			if rec.Accepted {
+				end := rec.Arrive + rec.Duration
+				if rec.Preempted && rec.PreemptSlot < end {
+					end = rec.PreemptSlot
+				}
+				if end > cfg.OnlineSlots {
+					end = cfg.OnlineSlots
+				}
+				for t := rec.Arrive; t < end; t++ {
+					active[t] += rec.Demand
+				}
+			}
+		}
+		peak := 0.0
+		for _, v := range active {
+			if v > peak {
+				peak = v
+			}
+		}
+		tbl.AddRow(app.Name,
+			fmt.Sprintf("%.0f", guar),
+			fmt.Sprintf("%.0f", peak),
+			fmt.Sprintf("%d", nGuar), fmt.Sprintf("%d", nBorrow),
+			fmt.Sprintf("%d", nPreempt), fmt.Sprintf("%d", nRej))
+	}
+	return tbl, nil
+}
+
+// Fig13 regenerates the plan-deviation stressor (Fig. 13): OLIVE running
+// at 140% utilization with plans built for 60%, 100% and 140% expected
+// demand, with QUICKG and SLOTOFF for reference.
+func Fig13(s Scale) (*Table, error) {
+	tbl := &Table{
+		Title:  "Fig. 13: effect of deviation from plan, Iris @140%",
+		Header: []string{"variant", "rejection"},
+	}
+	for _, pu := range []float64{0.6, 1.0, 1.4} {
+		cfg := s.config(topo.Iris, 1.4)
+		cfg.PlanUtilization = pu
+		cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE}
+		rr, err := RunRepeated(cfg, s.Reps)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(fmt.Sprintf("OLIVE (plan @%.0f%%)", pu*100), fmtCI(rr.Rejection[core.AlgoOLIVE]))
+	}
+	cfg := s.config(topo.Iris, 1.4)
+	cfg.Algorithms = []core.Algorithm{core.AlgoQuickG, core.AlgoSlotOff}
+	rr, err := RunRepeated(cfg, s.Reps)
+	if err != nil {
+		return nil, err
+	}
+	tbl.AddRow("QUICKG", fmtCI(rr.Rejection[core.AlgoQuickG]))
+	tbl.AddRow("SLOTOFF", fmtCI(rr.Rejection[core.AlgoSlotOff]))
+	return tbl, nil
+}
+
+// Fig14 regenerates the spatial-distribution stressor (Fig. 14): the plan
+// is built from a history whose ingress nodes were shuffled; OLIVE must
+// still beat QUICKG on rejection with comparable cost.
+func Fig14(s Scale) (rejection, cost *Table, err error) {
+	rejection = &Table{
+		Title:  "Fig. 14a: shifted plan requests, Iris — rejection rate",
+		Header: []string{"util", "OLIVE(shifted)", "QUICKG"},
+	}
+	cost = &Table{
+		Title:  "Fig. 14b: shifted plan requests, Iris — total cost",
+		Header: []string{"util", "OLIVE(shifted)", "QUICKG"},
+	}
+	for _, u := range s.Utils {
+		cfg := s.config(topo.Iris, u)
+		cfg.ShufflePlanIngress = true
+		cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE, core.AlgoQuickG}
+		rr, err := RunRepeated(cfg, s.Reps)
+		if err != nil {
+			return nil, nil, err
+		}
+		rejection.AddRow(fmt.Sprintf("%.0f%%", u*100),
+			fmtCI(rr.Rejection[core.AlgoOLIVE]), fmtCI(rr.Rejection[core.AlgoQuickG]))
+		cost.AddRow(fmt.Sprintf("%.0f%%", u*100),
+			fmtCIg(rr.Cost[core.AlgoOLIVE]), fmtCIg(rr.Cost[core.AlgoQuickG]))
+	}
+	return rejection, cost, nil
+}
+
+// Fig15 regenerates the CAIDA-trace experiment (Fig. 15): rejection and
+// cost on Iris under the heavy-tailed trace substitute.
+func Fig15(s Scale) (rejection, cost *Table, err error) {
+	rejection = &Table{
+		Title:  "Fig. 15a: CAIDA-like demand, Iris — rejection rate",
+		Header: []string{"util", "OLIVE", "QUICKG", "SLOTOFF"},
+	}
+	cost = &Table{
+		Title:  "Fig. 15b: CAIDA-like demand, Iris — total cost",
+		Header: []string{"util", "OLIVE", "QUICKG", "SLOTOFF"},
+	}
+	for _, u := range s.Utils {
+		cfg := s.config(topo.Iris, u)
+		cfg.Trace = TraceCAIDA
+		rr, err := RunRepeated(cfg, s.Reps)
+		if err != nil {
+			return nil, nil, err
+		}
+		rejection.AddRow(fmt.Sprintf("%.0f%%", u*100),
+			fmtCI(rr.Rejection[core.AlgoOLIVE]),
+			fmtCI(rr.Rejection[core.AlgoQuickG]),
+			fmtCI(rr.Rejection[core.AlgoSlotOff]))
+		cost.AddRow(fmt.Sprintf("%.0f%%", u*100),
+			fmtCIg(rr.Cost[core.AlgoOLIVE]),
+			fmtCIg(rr.Cost[core.AlgoQuickG]),
+			fmtCIg(rr.Cost[core.AlgoSlotOff]))
+	}
+	return rejection, cost, nil
+}
+
+// Fig16a regenerates the arrival-rate runtime scaling (Fig. 16a): OLIVE
+// and QUICKG runtime on Iris at 100% utilization while the arrival rate
+// grows (request size scaled down to keep utilization constant).
+func Fig16a(s Scale, lambdas []float64) (*Table, error) {
+	tbl := &Table{
+		Title:  "Fig. 16a: runtime vs arrival rate, Iris @100% (seconds)",
+		Header: []string{"λ/node", "req/slot", "OLIVE", "QUICKG"},
+	}
+	for _, l := range lambdas {
+		cfg := s.config(topo.Iris, 1.0)
+		// Utilization stays fixed across the λ sweep: Run's calibration
+		// scales the demand mean with 1/λ (§IV-B "Runtime").
+		cfg.LambdaPerNode = l
+		cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE, core.AlgoQuickG}
+		rr, err := RunRepeated(cfg, minInt(s.Reps, 3))
+		if err != nil {
+			return nil, err
+		}
+		edge := len(topo.MustBuild(topo.Iris, 1).EdgeNodes())
+		tbl.AddRow(fmt.Sprintf("%.0f", l),
+			fmt.Sprintf("%.0f", l*float64(edge)),
+			fmtCIg(rr.Runtime[core.AlgoOLIVE]),
+			fmtCIg(rr.Runtime[core.AlgoQuickG]))
+	}
+	return tbl, nil
+}
+
+// Fig16Runtime regenerates Figs. 16b–e: OLIVE vs QUICKG runtime per
+// topology across the utilization sweep.
+func Fig16Runtime(t topo.Name, s Scale) (*Table, error) {
+	tbl := &Table{
+		Title:  fmt.Sprintf("Fig. 16 (%s): runtime vs utilization (seconds)", t),
+		Header: []string{"util", "OLIVE", "QUICKG"},
+	}
+	for _, u := range s.Utils {
+		cfg := s.config(t, u)
+		cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE, core.AlgoQuickG}
+		rr, err := RunRepeated(cfg, minInt(s.Reps, 3))
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(fmt.Sprintf("%.0f%%", u*100),
+			fmtCIg(rr.Runtime[core.AlgoOLIVE]),
+			fmtCIg(rr.Runtime[core.AlgoQuickG]))
+	}
+	return tbl, nil
+}
+
+// Table2 regenerates Table II: the topology inventory.
+func Table2() (*Table, error) {
+	tbl := &Table{
+		Title:  "Table II: topologies",
+		Header: []string{"topology", "nodes", "links", "edge/transport/core", "description"},
+	}
+	specs := topo.Specs()
+	for _, name := range topo.All() {
+		sp := specs[name]
+		g, err := topo.Build(name, 1)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(string(name),
+			fmt.Sprintf("%d", g.NumNodes()), fmt.Sprintf("%d", g.NumLinks()),
+			fmt.Sprintf("%d/%d/%d", sp.EdgeN, sp.TransportN, sp.CoreN),
+			sp.Description)
+	}
+	return tbl, nil
+}
+
+// Table3 echoes the experimental settings (Table III) as realized by this
+// reproduction.
+func Table3() *Table {
+	tbl := &Table{
+		Title:  "Table III: experimental settings",
+		Header: []string{"parameter", "value"},
+	}
+	tbl.AddRow("Node popularity", "Zipf(α=1)")
+	tbl.AddRow("Plan period", "5400 slots")
+	tbl.AddRow("Test period", "600 slots")
+	tbl.AddRow("Request size", "N(10, 2²), mean scaled 6–14 with utilization")
+	tbl.AddRow("Request duration", "Exponential, mean 10")
+	tbl.AddRow("Requests per node (λ)", "10 per slot")
+	tbl.AddRow("Applications", "2 chain, 1 tree, 1 accelerator")
+	tbl.AddRow("VNFs", "U(3,5)")
+	tbl.AddRow("Element sizes", "N(50, 30²)")
+	tbl.AddRow("Rejection quantiles", fmt.Sprintf("%d", plan.DefaultOptions().Quantiles))
+	return tbl
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/olive-vne/olive/internal/core"
+	"github.com/olive-vne/olive/internal/topo"
+)
+
+// TestBalanceOrderingMatchesFig11 asserts the paper's Fig. 11 ordering at
+// a near-paper scale: rejection balance grows with the quantile count, and
+// QUICKG (which cannot actively balance) sits below OLIVE with P=10.
+func TestBalanceOrderingMatchesFig11(t *testing.T) {
+	if testing.Short() {
+		t.Skip("near-paper-scale run")
+	}
+	base := func() Config {
+		cfg := DefaultConfig(topo.Iris, 1.4, 3)
+		cfg.HistSlots, cfg.OnlineSlots = 600, 150
+		cfg.LambdaPerNode = 8
+		cfg.MeasureFrom, cfg.MeasureTo = 20, 130
+		cfg.PlanOptions.BootstrapB = 30
+		return cfg
+	}
+	balance := map[string]float64{}
+	for _, q := range []int{1, 10} {
+		cfg := base()
+		cfg.PlanOptions.Quantiles = q
+		cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE}
+		rr, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		balance[fmtQ(q)] = rr.Results[core.AlgoOLIVE].BalanceIndex
+	}
+	cfg := base()
+	cfg.Algorithms = []core.Algorithm{core.AlgoQuickG}
+	rr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balance["quickg"] = rr.Results[core.AlgoQuickG].BalanceIndex
+	t.Logf("balance: OLIVE P=1 %.3f, OLIVE P=10 %.3f, QUICKG %.3f",
+		balance["P1"], balance["P10"], balance["quickg"])
+
+	if balance["P10"] < balance["P1"]-0.03 {
+		t.Errorf("P=10 balance %.3f below P=1 %.3f; quantiles should improve balance",
+			balance["P10"], balance["P1"])
+	}
+	if balance["quickg"] > balance["P10"]+0.03 {
+		t.Errorf("QUICKG balance %.3f above OLIVE P=10 %.3f; Fig. 11 ordering violated",
+			balance["quickg"], balance["P10"])
+	}
+}
+
+func fmtQ(q int) string {
+	if q == 1 {
+		return "P1"
+	}
+	return "P10"
+}

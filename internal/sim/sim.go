@@ -1,0 +1,550 @@
+// Package sim is the discrete-time simulation engine of the reproduction:
+// it drives the OLIVE/QUICKG/FULLG engines and the SLOTOFF baseline over
+// generated traces, accounts costs exactly as the paper's objective
+// (resource cost Eq. 3 plus rejection cost Eq. 4), and aggregates repeated
+// runs with 95% confidence intervals. The experiment definitions that
+// regenerate every figure of the paper live in experiments.go.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"github.com/olive-vne/olive/internal/core"
+	"github.com/olive-vne/olive/internal/graph"
+	"github.com/olive-vne/olive/internal/plan"
+	"github.com/olive-vne/olive/internal/stats"
+	"github.com/olive-vne/olive/internal/topo"
+	"github.com/olive-vne/olive/internal/vnet"
+	"github.com/olive-vne/olive/internal/workload"
+)
+
+// TraceKind selects the arrival process.
+type TraceKind string
+
+// Trace kinds of §IV-A.
+const (
+	TraceMMPP  TraceKind = "mmpp"
+	TraceCAIDA TraceKind = "caida"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Topology and TopologySeed select the substrate.
+	Topology     topo.Name
+	TopologySeed uint64
+	// Seed drives the application set, trace and plan randomness.
+	Seed uint64
+
+	// Utilization is the target edge utilization (1.0 = 100%).
+	Utilization float64
+	// PlanUtilization, when non-zero, builds the plan from a history
+	// generated at a different utilization (Fig. 13's deviation
+	// stressor).
+	PlanUtilization float64
+	// ShufflePlanIngress randomizes the ingress of every history
+	// request before planning (Fig. 14's spatial stressor).
+	ShufflePlanIngress bool
+
+	// HistSlots and OnlineSlots split the trace (5400/600 in the
+	// paper).
+	HistSlots   int
+	OnlineSlots int
+	// LambdaPerNode is the mean arrival rate per edge node (10).
+	LambdaPerNode float64
+	// DemandMeanOverride, when non-zero, replaces the utilization-derived
+	// mean request demand. Fig. 16a uses it to keep utilization constant
+	// while the arrival rate grows.
+	DemandMeanOverride float64
+	// Trace selects MMPP (default) or the CAIDA-like substitute.
+	Trace TraceKind
+	// DiurnalPeriod sets the CAIDA substitute's rate-modulation period
+	// in slots (0 = whole trace). Used with PlanWindows.
+	DiurnalPeriod int
+
+	// AppKind, when non-zero, replaces the default 2-chain/tree/
+	// accelerator mix with four applications of a single kind (Fig. 9
+	// and Fig. 10).
+	AppKind vnet.Kind
+	// GPU switches to the Fig. 10 scenario: the substrate is split
+	// into GPU and non-GPU datacenters and applications are GPU chains.
+	GPU bool
+
+	// Algorithms lists the algorithms to run (default: OLIVE, QUICKG,
+	// SLOTOFF).
+	Algorithms []core.Algorithm
+	// PlanOptions configures PLAN-VNE (zero value → plan.DefaultOptions).
+	PlanOptions plan.Options
+	// PlanWindows, when > 1, enables the time-varying plan extension:
+	// the demand cycle (DiurnalPeriod) is split into this many windows,
+	// each with its own PLAN-VNE solution, and OLIVE swaps plans at
+	// window boundaries (paper §VI future work).
+	PlanWindows int
+	// EngineOptions carries OLIVE ablation switches (Plan is overwritten).
+	EngineOptions core.Options
+
+	// MeasureFrom/MeasureTo bound the arrival slots (within the online
+	// phase) whose requests are counted in rejection/cost metrics; 0/0
+	// means the full online phase. The paper measures slots 100–500.
+	MeasureFrom, MeasureTo int
+}
+
+// DefaultConfig returns the paper-scale configuration (Table III) for one
+// topology at the given utilization.
+func DefaultConfig(t topo.Name, util float64, seed uint64) Config {
+	return Config{
+		Topology:      t,
+		TopologySeed:  1,
+		Seed:          seed,
+		Utilization:   util,
+		HistSlots:     5400,
+		OnlineSlots:   600,
+		LambdaPerNode: 10,
+		Trace:         TraceMMPP,
+		Algorithms:    []core.Algorithm{core.AlgoOLIVE, core.AlgoQuickG, core.AlgoSlotOff},
+		PlanOptions:   plan.DefaultOptions(),
+		MeasureFrom:   100,
+		MeasureTo:     500,
+	}
+}
+
+// QuickConfig returns a scaled-down configuration for tests and smoke
+// benches: same structure, ~50× fewer requests.
+func QuickConfig(t topo.Name, util float64, seed uint64) Config {
+	c := DefaultConfig(t, util, seed)
+	c.HistSlots = 200
+	c.OnlineSlots = 60
+	c.LambdaPerNode = 3
+	c.PlanOptions.BootstrapB = 30
+	c.PlanOptions.MaxPricingRounds = 4
+	c.MeasureFrom, c.MeasureTo = 10, 50
+	return c
+}
+
+func (c *Config) normalize() {
+	if c.Trace == "" {
+		c.Trace = TraceMMPP
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = []core.Algorithm{core.AlgoOLIVE, core.AlgoQuickG, core.AlgoSlotOff}
+	}
+	if c.PlanOptions.Quantiles == 0 {
+		c.PlanOptions = plan.DefaultOptions()
+	}
+	if c.MeasureTo == 0 {
+		c.MeasureFrom, c.MeasureTo = 0, c.OnlineSlots
+	}
+}
+
+// RequestRecord logs one request's fate for figure reconstruction.
+type RequestRecord struct {
+	ID       int
+	App      int
+	Ingress  graph.NodeID
+	Arrive   int // online-phase slot
+	Duration int
+	Demand   float64
+	Accepted bool
+	Planned  bool
+	// Preempted is true if the request was accepted and later evicted;
+	// PreemptSlot is when.
+	Preempted   bool
+	PreemptSlot int
+}
+
+// AlgoResult carries one algorithm's metrics for one run.
+type AlgoResult struct {
+	Algorithm core.Algorithm
+
+	// RejectionRate is rejected/total over the measurement window;
+	// preempted requests count as rejected (they incur Ψ).
+	RejectionRate float64
+	// ResourceCost is Σ_t Σ_s load·cost (Eq. 3) over the online phase.
+	ResourceCost float64
+	// RejectionCost is Σ Ψ(r) over rejected and preempted requests in
+	// the window (Eq. 4).
+	RejectionCost float64
+	// TotalCost = ResourceCost + RejectionCost.
+	TotalCost float64
+	// BalanceIndex is the rejection balance index of Eq. 20 over the
+	// window.
+	BalanceIndex float64
+	// Runtime is the wall-clock time of online processing (plan
+	// construction excluded; the paper reports it separately).
+	Runtime time.Duration
+
+	// PerSlotRequested/Accepted hold arriving demand per online slot
+	// and the accepted part (Fig. 8).
+	PerSlotRequested []float64
+	PerSlotAccepted  []float64
+
+	// Log holds one record per online request, in arrival order.
+	Log []RequestRecord
+}
+
+// RunResult is the outcome of one simulation run.
+type RunResult struct {
+	Config    Config
+	Substrate *graph.Graph
+	Apps      []*vnet.App
+	Plan      *plan.Plan
+	// Windowed holds the per-window plans when PlanWindows > 1.
+	Windowed *plan.WindowedPlan
+	PlanTime time.Duration
+	Results  map[core.Algorithm]*AlgoResult
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*RunResult, error) {
+	cfg.normalize()
+	if cfg.HistSlots <= 0 || cfg.OnlineSlots <= 0 {
+		return nil, errors.New("sim: HistSlots and OnlineSlots must be positive")
+	}
+
+	g, err := topo.Build(cfg.Topology, cfg.TopologySeed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x51f0))
+
+	// Application set.
+	var apps []*vnet.App
+	ap := vnet.DefaultParams()
+	switch {
+	case cfg.GPU:
+		g = topo.MakeGPUVariant(g, 4, cfg.Seed)
+		apps = vnet.UniformKindSet(vnet.KindGPU, ap, rng)
+	case cfg.AppKind != 0:
+		apps = vnet.UniformKindSet(cfg.AppKind, ap, rng)
+	default:
+		apps = vnet.DefaultMix(ap, rng)
+	}
+
+	// Traces: one history (for the plan) and one online phase.
+	makeTrace := func(p workload.Params, r *rand.Rand) (*workload.Trace, error) {
+		if cfg.Trace == TraceCAIDA {
+			cp := workload.DefaultCAIDAParams()
+			cp.DiurnalPeriod = cfg.DiurnalPeriod
+			return workload.GenerateCAIDA(g, p, cp, r)
+		}
+		return workload.GenerateMMPP(g, p, r)
+	}
+	wp := workload.DefaultParams().WithUtilization(cfg.Utilization)
+	wp.Slots = cfg.HistSlots + cfg.OnlineSlots
+	wp.LambdaPerNode = cfg.LambdaPerNode
+	wp.NumApps = len(apps)
+	// Utilization calibration: with Table II/III constants, edge
+	// utilization u needs E[d] = u·edgeCap/(λ·E[T]·E[Σβ]) = u·100/λ —
+	// the paper's E[d]=10·u at λ=10. Scaling demand with 1/λ keeps
+	// reduced-rate runs (and the Fig. 16a sweep) at the target
+	// utilization.
+	wp.DemandMean = cfg.Utilization * 100 / cfg.LambdaPerNode
+	if cfg.DemandMeanOverride > 0 {
+		wp.DemandMean = cfg.DemandMeanOverride
+	}
+	full, err := makeTrace(wp, rng)
+	if err != nil {
+		return nil, err
+	}
+	hist, online, err := full.Split(cfg.HistSlots)
+	if err != nil {
+		return nil, err
+	}
+
+	// Plan input stressors (Figs. 13–14) regenerate or perturb the
+	// history.
+	planHist := hist
+	if cfg.PlanUtilization != 0 && cfg.PlanUtilization != cfg.Utilization {
+		pw := wp.WithUtilization(cfg.PlanUtilization)
+		pw.Slots = cfg.HistSlots
+		planRNG := rand.New(rand.NewPCG(cfg.Seed, 0x9a17))
+		planHist, err = makeTrace(pw, planRNG)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ShufflePlanIngress {
+		planHist = workload.ShuffleIngress(planHist, g, rand.New(rand.NewPCG(cfg.Seed, 0x5bf1)))
+	}
+
+	res := &RunResult{
+		Config: cfg, Substrate: g, Apps: apps,
+		Results: make(map[core.Algorithm]*AlgoResult, len(cfg.Algorithms)),
+	}
+
+	needPlan := false
+	for _, a := range cfg.Algorithms {
+		if a == core.AlgoOLIVE {
+			needPlan = true
+		}
+	}
+	if needPlan {
+		t0 := time.Now()
+		if cfg.PlanWindows > 1 {
+			period := cfg.DiurnalPeriod
+			if period <= 0 || period > planHist.Slots {
+				period = planHist.Slots
+			}
+			wp, err := plan.BuildWindowed(g, apps, planHist, period, cfg.PlanWindows, cfg.PlanOptions, rng)
+			if err != nil {
+				return nil, fmt.Errorf("sim: windowed plan: %w", err)
+			}
+			res.Windowed = wp
+			res.Plan = wp.At(cfg.HistSlots) // plan governing online slot 0
+		} else {
+			p, err := plan.BuildFromHistory(g, apps, planHist, cfg.PlanOptions, rng)
+			if err != nil {
+				return nil, fmt.Errorf("sim: plan: %w", err)
+			}
+			res.Plan = p
+		}
+		res.PlanTime = time.Since(t0)
+	}
+
+	psi := make([]float64, len(apps))
+	for i, a := range apps {
+		psi[i] = plan.DefaultRejectionFactor(g, a)
+	}
+
+	for _, algo := range cfg.Algorithms {
+		ar, err := runAlgorithm(cfg, g, apps, res.Plan, res.Windowed, psi, online, algo)
+		if err != nil {
+			return nil, err
+		}
+		res.Results[algo] = ar
+	}
+	return res, nil
+}
+
+// runAlgorithm executes the online phase under one algorithm.
+func runAlgorithm(cfg Config, g *graph.Graph, apps []*vnet.App, p *plan.Plan, wp *plan.WindowedPlan, psi []float64, online *workload.Trace, algo core.Algorithm) (*AlgoResult, error) {
+	ar := &AlgoResult{
+		Algorithm:        algo,
+		PerSlotRequested: make([]float64, online.Slots),
+		PerSlotAccepted:  make([]float64, online.Slots),
+		Log:              make([]RequestRecord, 0, len(online.Requests)),
+	}
+	slots := online.PerSlot()
+
+	if algo == core.AlgoSlotOff {
+		return ar, runSlotOff(cfg, g, apps, psi, slots, ar)
+	}
+
+	opts := cfg.EngineOptions
+	switch algo {
+	case core.AlgoOLIVE:
+		opts.Plan = p
+		opts.Exact = false
+	case core.AlgoQuickG:
+		opts.Plan = nil
+		opts.Exact = false
+	case core.AlgoFullG:
+		opts.Plan = nil
+		opts.Exact = true
+	default:
+		return nil, fmt.Errorf("sim: unknown algorithm %q", algo)
+	}
+	eng, err := core.NewEngine(g, apps, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-request bookkeeping for cost accounting.
+	type live struct {
+		contrib float64 // d·unitCost per slot
+		departs int
+		logIdx  int
+	}
+	liveReqs := make(map[int]*live)
+	logIdxOf := make(map[int]int, len(online.Requests))
+	var running float64 // Σ contrib over active requests
+
+	t0 := time.Now()
+	curWindow := -1
+	if wp != nil && algo == core.AlgoOLIVE {
+		curWindow = wp.WindowOf(cfg.HistSlots)
+	}
+	for t := 0; t < online.Slots; t++ {
+		if wp != nil && algo == core.AlgoOLIVE {
+			if w := wp.WindowOf(cfg.HistSlots + t); w != curWindow {
+				curWindow = w
+				eng.SwapPlan(wp.Plans[w])
+			}
+		}
+		eng.StartSlot(t)
+		for id, lr := range liveReqs {
+			if lr.departs <= t {
+				running -= lr.contrib
+				delete(liveReqs, id)
+			}
+		}
+		for _, r := range slots[t] {
+			ar.PerSlotRequested[t] += r.Demand
+			out, err := eng.Process(r)
+			if err != nil {
+				return nil, err
+			}
+			rec := RequestRecord{
+				ID: r.ID, App: r.App, Ingress: r.Ingress,
+				Arrive: r.Arrive, Duration: r.Duration, Demand: r.Demand,
+				Accepted: out.Accepted, Planned: out.Planned,
+			}
+			logIdxOf[r.ID] = len(ar.Log)
+			ar.Log = append(ar.Log, rec)
+			for _, pid := range out.Preempted {
+				if lr, ok := liveReqs[pid]; ok {
+					running -= lr.contrib
+					delete(liveReqs, pid)
+					ar.Log[lr.logIdx].Preempted = true
+					ar.Log[lr.logIdx].PreemptSlot = t
+				}
+			}
+			if out.Accepted {
+				ar.PerSlotAccepted[t] += r.Demand
+				contrib := out.Emb.Cost(r.Demand)
+				liveReqs[r.ID] = &live{contrib: contrib, departs: r.Departs(), logIdx: logIdxOf[r.ID]}
+				running += contrib
+			}
+		}
+		ar.ResourceCost += running
+	}
+	ar.Runtime = time.Since(t0)
+
+	finalizeMetrics(cfg, g, apps, psi, ar)
+	return ar, nil
+}
+
+// runSlotOff executes the SLOTOFF baseline.
+func runSlotOff(cfg Config, g *graph.Graph, apps []*vnet.App, psi []float64, slots [][]workload.Request, ar *AlgoResult) error {
+	so, err := core.NewSlotOff(g, apps, core.SlotOffOptions())
+	if err != nil {
+		return err
+	}
+	logIdxOf := make(map[int]int)
+	t0 := time.Now()
+	for t := range slots {
+		for _, r := range slots[t] {
+			ar.PerSlotRequested[t] += r.Demand
+		}
+		res, err := so.Step(t, slots[t])
+		if err != nil {
+			return err
+		}
+		for _, r := range slots[t] {
+			rec := RequestRecord{
+				ID: r.ID, App: r.App, Ingress: r.Ingress,
+				Arrive: r.Arrive, Duration: r.Duration, Demand: r.Demand,
+			}
+			logIdxOf[r.ID] = len(ar.Log)
+			ar.Log = append(ar.Log, rec)
+		}
+		for _, r := range res.AcceptedNew {
+			ar.Log[logIdxOf[r.ID]].Accepted = true
+			ar.Log[logIdxOf[r.ID]].Planned = true // SLOTOFF allocations are all LP-planned
+			ar.PerSlotAccepted[t] += r.Demand
+		}
+		for _, r := range res.Dropped {
+			if idx, ok := logIdxOf[r.ID]; ok {
+				ar.Log[idx].Preempted = true
+				ar.Log[idx].PreemptSlot = t
+			}
+		}
+		ar.ResourceCost += res.ResourceCost
+	}
+	ar.Runtime = time.Since(t0)
+	finalizeMetrics(cfg, g, apps, psi, ar)
+	return nil
+}
+
+// finalizeMetrics computes windowed rejection, cost and balance metrics
+// from the request log.
+func finalizeMetrics(cfg Config, g *graph.Graph, apps []*vnet.App, psi []float64, ar *AlgoResult) {
+	var total, rejected int
+	perNode := make(map[graph.NodeID]*stats.BalanceSample)
+	for i := range ar.Log {
+		rec := &ar.Log[i]
+		if rec.Arrive < cfg.MeasureFrom || rec.Arrive >= cfg.MeasureTo {
+			continue
+		}
+		total++
+		bs := perNode[rec.Ingress]
+		if bs == nil {
+			bs = &stats.BalanceSample{RejectedPerApp: make([]float64, len(apps))}
+			perNode[rec.Ingress] = bs
+		}
+		bs.Requests++
+		isRejected := !rec.Accepted || rec.Preempted
+		if isRejected {
+			rejected++
+			bs.RejectedPerApp[rec.App]++
+			ar.RejectionCost += psi[rec.App] * rec.Demand * float64(rec.Duration)
+		}
+	}
+	if total > 0 {
+		ar.RejectionRate = float64(rejected) / float64(total)
+	}
+	samples := make([]stats.BalanceSample, 0, len(perNode))
+	for _, bs := range perNode {
+		samples = append(samples, *bs)
+	}
+	ar.BalanceIndex = stats.BalanceIndex(samples)
+	ar.TotalCost = ar.ResourceCost + ar.RejectionCost
+}
+
+// MetricSummary aggregates one metric over repeated runs.
+type MetricSummary = stats.Summary
+
+// RepeatedResult aggregates repeated runs of one configuration.
+type RepeatedResult struct {
+	Config Config
+	Reps   int
+	// Per algorithm: summaries of the headline metrics.
+	Rejection map[core.Algorithm]MetricSummary
+	Cost      map[core.Algorithm]MetricSummary
+	Balance   map[core.Algorithm]MetricSummary
+	Runtime   map[core.Algorithm]MetricSummary // seconds
+}
+
+// RunRepeated executes reps independent runs (seeds Seed, Seed+1, ...) and
+// aggregates the headline metrics with 95% confidence intervals.
+func RunRepeated(cfg Config, reps int) (*RepeatedResult, error) {
+	if reps <= 0 {
+		return nil, errors.New("sim: reps must be positive")
+	}
+	acc := make(map[core.Algorithm]map[string][]float64)
+	for rep := 0; rep < reps; rep++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(rep)
+		rr, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("sim: rep %d: %w", rep, err)
+		}
+		for algo, ar := range rr.Results {
+			m := acc[algo]
+			if m == nil {
+				m = map[string][]float64{}
+				acc[algo] = m
+			}
+			m["rej"] = append(m["rej"], ar.RejectionRate)
+			m["cost"] = append(m["cost"], ar.TotalCost)
+			m["bal"] = append(m["bal"], ar.BalanceIndex)
+			m["rt"] = append(m["rt"], ar.Runtime.Seconds())
+		}
+	}
+	out := &RepeatedResult{
+		Config: cfg, Reps: reps,
+		Rejection: map[core.Algorithm]MetricSummary{},
+		Cost:      map[core.Algorithm]MetricSummary{},
+		Balance:   map[core.Algorithm]MetricSummary{},
+		Runtime:   map[core.Algorithm]MetricSummary{},
+	}
+	for algo, m := range acc {
+		out.Rejection[algo] = stats.Summarize(m["rej"])
+		out.Cost[algo] = stats.Summarize(m["cost"])
+		out.Balance[algo] = stats.Summarize(m["bal"])
+		out.Runtime[algo] = stats.Summarize(m["rt"])
+	}
+	return out, nil
+}

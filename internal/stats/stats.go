@@ -1,0 +1,264 @@
+// Package stats provides the statistical substrate of the reproduction:
+// empirical CDFs and quantiles, the bootstrap percentile estimation used by
+// the time-aggregation step (paper §III-A), the rejection balance index of
+// Eq. 20, and mean/confidence-interval summaries for repeated experiment
+// runs.
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 for fewer than
+// two samples).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-quantile (q in [0,1]) of xs using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+// It returns an error for empty input or q outside [0,1].
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("stats: quantile level outside [0,1]")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q), nil
+}
+
+// quantileSorted computes the type-7 quantile of an already-sorted sample.
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	h := q * float64(len(s)-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= len(s) {
+		return s[len(s)-1]
+	}
+	frac := h - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// ECDF is an empirical cumulative distribution function over a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from the sample (which is copied).
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("stats: ECDF of empty sample")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// At returns F(x): the fraction of the sample ≤ x.
+func (e *ECDF) At(x float64) float64 {
+	return float64(sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-quantile of the underlying sample.
+func (e *ECDF) Quantile(q float64) float64 { return quantileSorted(e.sorted, q) }
+
+// Len returns the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// BootstrapResult carries a bootstrap percentile estimate with its 95%
+// confidence interval (percentile method, DiCiccio & Efron).
+type BootstrapResult struct {
+	// Estimate is the mean of the bootstrap replicates of P̂α.
+	Estimate float64
+	// Lo, Hi bound the 95% confidence interval of P̂α.
+	Lo, Hi float64
+}
+
+// BootstrapQuantile estimates the α-quantile of the distribution behind
+// sample xs by bootstrapping: B resamples with replacement, the α-quantile
+// of each, percentile-method CI over the replicates. This is the estimator
+// the paper uses for the expected aggregated demand P̂80 (§III-A).
+func BootstrapQuantile(xs []float64, alpha float64, b int, rng *rand.Rand) (BootstrapResult, error) {
+	if len(xs) == 0 {
+		return BootstrapResult{}, errors.New("stats: bootstrap of empty sample")
+	}
+	if alpha < 0 || alpha > 1 {
+		return BootstrapResult{}, errors.New("stats: bootstrap quantile level outside [0,1]")
+	}
+	if b <= 0 {
+		return BootstrapResult{}, errors.New("stats: bootstrap needs at least one replicate")
+	}
+	reps := make([]float64, b)
+	resample := make([]float64, len(xs))
+	for i := 0; i < b; i++ {
+		for j := range resample {
+			resample[j] = xs[rng.IntN(len(xs))]
+		}
+		sort.Float64s(resample)
+		reps[i] = quantileSorted(resample, alpha)
+	}
+	sort.Float64s(reps)
+	return BootstrapResult{
+		Estimate: Mean(reps),
+		Lo:       quantileSorted(reps, 0.025),
+		Hi:       quantileSorted(reps, 0.975),
+	}, nil
+}
+
+// Conforms reports whether an observed quantile falls within the 95%
+// confidence interval of the bootstrap estimate — the paper's definition
+// of online demand "conforming to expectations" from the history (§III-A).
+func (r BootstrapResult) Conforms(observed float64) bool {
+	return observed >= r.Lo && observed <= r.Hi
+}
+
+// JainIndex returns Jain's fairness index of xs: (Σx)² / (n·Σx²).
+// It is 1 for perfectly equal values, 1/n for a single non-zero value,
+// and 1 (perfect) for an all-zero vector, which represents "no rejections
+// anywhere" in the balance-index application.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// BalanceSample is one datacenter's rejection profile for the rejection
+// balance index of Eq. 20.
+type BalanceSample struct {
+	// Requests is n(v): the number of requests that arrived at the
+	// datacenter.
+	Requests int
+	// RejectedPerApp is x_va: rejected request counts per application.
+	RejectedPerApp []float64
+}
+
+// BalanceIndex computes the paper's rejection balance index (Eq. 20): a
+// per-datacenter Jain index over per-application rejection counts x_va,
+// averaged over datacenters weighted by request count n(v). The formula's
+// 0/0 case — a datacenter with no rejections at all — contributes 0, the
+// literal evaluation of (Σx)²/(|A|·Σx²) under the 0/0→0 convention. This
+// makes the index reward both evenness *and* coverage: an algorithm that
+// rejects evenly at every constrained datacenter (OLIVE with quantiles)
+// scores high, one whose rejections concentrate on a few saturated
+// datacenters (QUICKG) scores low — matching the orderings of Fig. 11.
+func BalanceIndex(samples []BalanceSample) float64 {
+	var wSum, acc float64
+	for _, s := range samples {
+		if s.Requests == 0 || len(s.RejectedPerApp) == 0 {
+			continue
+		}
+		w := float64(s.Requests)
+		wSum += w
+		allZero := true
+		for _, x := range s.RejectedPerApp {
+			if x != 0 {
+				allZero = false
+				break
+			}
+		}
+		if !allZero {
+			acc += w * JainIndex(s.RejectedPerApp)
+		}
+	}
+	if wSum == 0 {
+		return 1
+	}
+	return acc / wSum
+}
+
+// Summary aggregates repeated measurements of one metric.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64
+	// Lo, Hi bound the 95% confidence interval of the mean (normal
+	// approximation, z = 1.96).
+	Lo, Hi float64
+}
+
+// Summarize computes the mean and 95% CI of repeated runs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Mean: Mean(xs), Std: StdDev(xs)}
+	if s.N > 1 {
+		half := 1.96 * s.Std / math.Sqrt(float64(s.N))
+		s.Lo, s.Hi = s.Mean-half, s.Mean+half
+	} else {
+		s.Lo, s.Hi = s.Mean, s.Mean
+	}
+	return s
+}
+
+// Welford accumulates a running mean/variance without storing samples.
+// The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 before any observation).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased running variance (0 for n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the running standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }

@@ -1,0 +1,206 @@
+package topo
+
+import (
+	"math"
+	"testing"
+
+	"github.com/olive-vne/olive/internal/graph"
+)
+
+func TestBuildMatchesTableII(t *testing.T) {
+	for name, spec := range Specs() {
+		t.Run(string(name), func(t *testing.T) {
+			g, err := Build(name, 1)
+			if err != nil {
+				t.Fatalf("Build(%q): %v", name, err)
+			}
+			if g.NumNodes() != spec.Nodes {
+				t.Errorf("nodes = %d, want %d", g.NumNodes(), spec.Nodes)
+			}
+			if g.NumLinks() != spec.Links {
+				t.Errorf("links = %d, want %d", g.NumLinks(), spec.Links)
+			}
+			if err := g.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+			gotTiers := map[graph.Tier]int{}
+			for _, n := range g.Nodes() {
+				gotTiers[n.Tier]++
+			}
+			if gotTiers[graph.TierEdge] != spec.EdgeN || gotTiers[graph.TierTransport] != spec.TransportN || gotTiers[graph.TierCore] != spec.CoreN {
+				t.Errorf("tier split = %v, want %d/%d/%d", gotTiers, spec.EdgeN, spec.TransportN, spec.CoreN)
+			}
+		})
+	}
+}
+
+func TestBuildUnknownName(t *testing.T) {
+	if _, err := Build("nonexistent", 1); err == nil {
+		t.Fatal("Build with unknown name succeeded")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := MustBuild(Iris, 42)
+	b := MustBuild(Iris, 42)
+	if a.NumLinks() != b.NumLinks() {
+		t.Fatal("same seed produced different link counts")
+	}
+	for i := 0; i < a.NumLinks(); i++ {
+		la, lb := a.Link(graph.LinkID(i)), b.Link(graph.LinkID(i))
+		if la.From != lb.From || la.To != lb.To || la.Cap != lb.Cap {
+			t.Fatalf("link %d differs between same-seed builds: %+v vs %+v", i, la, lb)
+		}
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		if a.Node(graph.NodeID(i)).Cost != b.Node(graph.NodeID(i)).Cost {
+			t.Fatalf("node %d cost differs between same-seed builds", i)
+		}
+	}
+}
+
+func TestBuildSeedsDiffer(t *testing.T) {
+	a := MustBuild(Random100, 1)
+	b := MustBuild(Random100, 2)
+	same := true
+	for i := 0; i < a.NumLinks() && same; i++ {
+		la, lb := a.Link(graph.LinkID(i)), b.Link(graph.LinkID(i))
+		if la.From != lb.From || la.To != lb.To {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical random graphs")
+	}
+}
+
+func TestCapacitiesFollowTiers(t *testing.T) {
+	g := MustBuild(Iris, 7)
+	for _, n := range g.Nodes() {
+		var want float64
+		switch n.Tier {
+		case graph.TierEdge:
+			want = EdgeNodeCap
+		case graph.TierTransport:
+			want = TransportNodeCap
+		case graph.TierCore:
+			want = CoreNodeCap
+		}
+		if n.Cap != want {
+			t.Fatalf("node %q tier %v cap %g, want %g", n.Name, n.Tier, n.Cap, want)
+		}
+	}
+	for _, l := range g.Links() {
+		lt := linkTier(g.Node(l.From).Tier, g.Node(l.To).Tier)
+		if l.Cap != tierLinkCap(lt) {
+			t.Fatalf("link %d tier %v cap %g, want %g", l.ID, lt, l.Cap, tierLinkCap(lt))
+		}
+	}
+}
+
+func TestInterTierRatioIsThree(t *testing.T) {
+	if TransportNodeCap/EdgeNodeCap != 3 || CoreNodeCap/TransportNodeCap != 3 {
+		t.Error("node capacity inter-tier ratio is not 3")
+	}
+	if TransportLinkCap/EdgeLinkCap != 3 || CoreLinkCap/TransportLinkCap != 3 {
+		t.Error("link capacity inter-tier ratio is not 3")
+	}
+}
+
+func TestCostsWithinHalfToOneAndAHalfOfTierMean(t *testing.T) {
+	for _, name := range All() {
+		g := MustBuild(name, 3)
+		for _, n := range g.Nodes() {
+			mean := tierNodeCostMean(n.Tier)
+			if n.Cost < 0.5*mean-1e-9 || n.Cost > 1.5*mean+1e-9 {
+				t.Fatalf("%s node %q cost %g outside [%g,%g]", name, n.Name, n.Cost, 0.5*mean, 1.5*mean)
+			}
+		}
+		for _, l := range g.Links() {
+			if l.Cost != LinkCost {
+				t.Fatalf("%s link %d cost %g, want %g", name, l.ID, l.Cost, LinkCost)
+			}
+		}
+	}
+}
+
+func TestFranklinExistsInIris(t *testing.T) {
+	g := MustBuild(Iris, 11)
+	id, ok := FindNode(g, "Franklin")
+	if !ok {
+		t.Fatal("Iris has no Franklin node (needed for Fig. 12)")
+	}
+	if g.Node(id).Tier != graph.TierEdge {
+		t.Errorf("Franklin is tier %v, want edge", g.Node(id).Tier)
+	}
+}
+
+func TestFindNodeMissing(t *testing.T) {
+	g := MustBuild(CittaStudi, 1)
+	if _, ok := FindNode(g, "no-such-node"); ok {
+		t.Fatal("FindNode found a nonexistent node")
+	}
+}
+
+func TestMakeGPUVariant(t *testing.T) {
+	g := MustBuild(Iris, 5)
+	v := MakeGPUVariant(g, 4, 99)
+
+	var gpuEdge, gpuCore int
+	for _, n := range v.Nodes() {
+		switch {
+		case n.Tier == graph.TierCore:
+			if !n.GPU {
+				t.Errorf("core node %q not GPU in variant", n.Name)
+			}
+			gpuCore++
+		case n.GPU:
+			gpuEdge++
+		}
+	}
+	if gpuEdge != 4 {
+		t.Errorf("GPU edge nodes = %d, want 4", gpuEdge)
+	}
+	if gpuCore == 0 {
+		t.Error("no core nodes found")
+	}
+	// Non-GPU nodes lose 25% capacity; GPU nodes keep theirs.
+	for _, n := range v.Nodes() {
+		orig := g.Node(n.ID).Cap
+		want := orig
+		if !n.GPU {
+			want = orig * 0.75
+		}
+		if math.Abs(n.Cap-want) > 1e-6 {
+			t.Fatalf("node %q cap %g, want %g", n.Name, n.Cap, want)
+		}
+	}
+	// The original graph is untouched.
+	for _, n := range g.Nodes() {
+		if n.GPU {
+			t.Fatal("MakeGPUVariant mutated the original graph")
+		}
+	}
+}
+
+func TestEdgeNodesAreRequestIngresses(t *testing.T) {
+	for _, name := range All() {
+		g := MustBuild(name, 2)
+		if len(g.EdgeNodes()) == 0 {
+			t.Fatalf("%s has no edge nodes", name)
+		}
+	}
+}
+
+func TestLayoutAssignsCoordinates(t *testing.T) {
+	g := MustBuild(CittaStudi, 1)
+	var nonZero int
+	for _, n := range g.Nodes() {
+		if n.X != 0 || n.Y != 0 {
+			nonZero++
+		}
+	}
+	if nonZero < g.NumNodes()/2 {
+		t.Errorf("only %d/%d nodes have layout coordinates", nonZero, g.NumNodes())
+	}
+}

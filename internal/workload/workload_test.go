@@ -1,0 +1,378 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/olive-vne/olive/internal/graph"
+	"github.com/olive-vne/olive/internal/stats"
+	"github.com/olive-vne/olive/internal/topo"
+)
+
+func testRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 99)) }
+
+func smallParams() Params {
+	p := DefaultParams()
+	p.Slots = 200
+	return p
+}
+
+func TestGenerateMMPPBasicInvariants(t *testing.T) {
+	g := topo.MustBuild(topo.CittaStudi, 1)
+	tr, err := GenerateMMPP(g, smallParams(), testRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) == 0 {
+		t.Fatal("empty trace")
+	}
+	edgeSet := map[graph.NodeID]bool{}
+	for _, v := range g.EdgeNodes() {
+		edgeSet[v] = true
+	}
+	for _, r := range tr.Requests {
+		if !edgeSet[r.Ingress] {
+			t.Fatalf("request %d originates at non-edge node %d", r.ID, r.Ingress)
+		}
+		if r.App < 0 || r.App >= 4 {
+			t.Fatalf("request %d app index %d outside [0,4)", r.ID, r.App)
+		}
+	}
+}
+
+func TestGenerateMMPPMeanRate(t *testing.T) {
+	g := topo.MustBuild(topo.CittaStudi, 2)
+	p := smallParams()
+	p.Slots = 500
+	tr, err := GenerateMMPP(g, p, testRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSlot := float64(len(tr.Requests)) / float64(p.Slots)
+	want := p.LambdaPerNode * float64(len(g.EdgeNodes()))
+	if math.Abs(perSlot-want)/want > 0.1 {
+		t.Fatalf("mean arrivals/slot = %g, want ≈%g (±10%%)", perSlot, want)
+	}
+}
+
+func TestGenerateMMPPZipfSkew(t *testing.T) {
+	g := topo.MustBuild(topo.Iris, 3)
+	p := smallParams()
+	tr, err := GenerateMMPP(g, p, testRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[graph.NodeID]int{}
+	for _, r := range tr.Requests {
+		counts[r.Ingress]++
+	}
+	var max, min int
+	min = 1 << 30
+	for _, v := range g.EdgeNodes() {
+		c := counts[v]
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	// Zipf(1) over 30 edge nodes: top/bottom rate ratio is 30; with
+	// sampling noise demand at least 5×.
+	if min == 0 {
+		min = 1
+	}
+	if float64(max)/float64(min) < 5 {
+		t.Errorf("popularity skew max/min = %d/%d; expected strong Zipf skew", max, min)
+	}
+}
+
+func TestGenerateMMPPBurstiness(t *testing.T) {
+	g := topo.MustBuild(topo.CittaStudi, 4)
+	p := smallParams()
+	p.Slots = 400
+
+	burst, err := GenerateMMPP(g, p, testRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := p
+	p2.MMPP = MMPPParams{} // plain Poisson
+	flat, err := GenerateMMPP(g, p2, testRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := func(tr *Trace) float64 {
+		perSlot := make([]float64, tr.Slots)
+		for _, r := range tr.Requests {
+			perSlot[r.Arrive]++
+		}
+		return stats.StdDev(perSlot) / stats.Mean(perSlot)
+	}
+	if cv(burst) <= cv(flat) {
+		t.Errorf("MMPP CV %g not larger than Poisson CV %g", cv(burst), cv(flat))
+	}
+}
+
+func TestDemandScalesWithUtilization(t *testing.T) {
+	g := topo.MustBuild(topo.CittaStudi, 5)
+	for _, util := range []float64{0.6, 1.0, 1.4} {
+		p := smallParams().WithUtilization(util)
+		tr, err := GenerateMMPP(g, p, testRNG(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, r := range tr.Requests {
+			sum += r.Demand
+		}
+		mean := sum / float64(len(tr.Requests))
+		if math.Abs(mean-10*util) > 0.5 {
+			t.Errorf("util %g: mean demand %g, want ≈%g", util, mean, 10*util)
+		}
+	}
+}
+
+func TestDurationMean(t *testing.T) {
+	g := topo.MustBuild(topo.CittaStudi, 6)
+	p := smallParams()
+	tr, err := GenerateMMPP(g, p, testRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range tr.Requests {
+		sum += float64(r.Duration)
+	}
+	mean := sum / float64(len(tr.Requests))
+	// Ceil of Exp(10) has mean ≈ 10.5.
+	if mean < 9 || mean < 1 || mean > 12 {
+		t.Errorf("mean duration %g, want ≈10", mean)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	g := topo.MustBuild(topo.CittaStudi, 7)
+	p := smallParams()
+	tr, err := GenerateMMPP(g, p, testRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, online, err := tr.Split(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Slots != 150 || online.Slots != 50 {
+		t.Fatalf("split slots = %d/%d, want 150/50", hist.Slots, online.Slots)
+	}
+	if len(hist.Requests)+len(online.Requests) != len(tr.Requests) {
+		t.Fatal("split lost requests")
+	}
+	if err := online.Validate(); err != nil {
+		t.Fatalf("online part invalid after re-basing: %v", err)
+	}
+	for _, r := range hist.Requests {
+		if r.Arrive >= 150 {
+			t.Fatalf("history contains request arriving at %d", r.Arrive)
+		}
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	tr := &Trace{Slots: 10}
+	for _, cut := range []int{0, 10, -5, 99} {
+		if _, _, err := tr.Split(cut); err == nil {
+			t.Errorf("Split(%d) did not error", cut)
+		}
+	}
+}
+
+func TestPerSlot(t *testing.T) {
+	tr := &Trace{Slots: 3, Requests: []Request{
+		{ID: 0, Arrive: 0, Demand: 1, Duration: 1},
+		{ID: 1, Arrive: 2, Demand: 1, Duration: 1},
+		{ID: 2, Arrive: 2, Demand: 1, Duration: 1},
+	}}
+	slots := tr.PerSlot()
+	if len(slots[0]) != 1 || len(slots[1]) != 0 || len(slots[2]) != 2 {
+		t.Fatalf("PerSlot counts = %d/%d/%d, want 1/0/2", len(slots[0]), len(slots[1]), len(slots[2]))
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	mk := func(mutate func(*Trace)) *Trace {
+		tr := &Trace{Slots: 10, Requests: []Request{
+			{ID: 0, Arrive: 1, Demand: 5, Duration: 2},
+			{ID: 1, Arrive: 3, Demand: 5, Duration: 2},
+		}}
+		mutate(tr)
+		return tr
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Trace)
+	}{
+		{"non-dense IDs", func(tr *Trace) { tr.Requests[1].ID = 7 }},
+		{"arrival out of range", func(tr *Trace) { tr.Requests[0].Arrive = 99 }},
+		{"zero duration", func(tr *Trace) { tr.Requests[0].Duration = 0 }},
+		{"zero demand", func(tr *Trace) { tr.Requests[0].Demand = 0 }},
+		{"unsorted", func(tr *Trace) { tr.Requests[0].Arrive = 9 }},
+		{"no slots", func(tr *Trace) { tr.Slots = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := mk(tt.mutate).Validate(); err == nil {
+				t.Fatal("Validate accepted corrupted trace")
+			}
+		})
+	}
+}
+
+func TestGenerateCAIDA(t *testing.T) {
+	g := topo.MustBuild(topo.Iris, 8)
+	p := smallParams()
+	tr, err := GenerateCAIDA(g, p, DefaultCAIDAParams(), testRNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	perSlot := float64(len(tr.Requests)) / float64(p.Slots)
+	want := p.LambdaPerNode * float64(len(g.EdgeNodes()))
+	if math.Abs(perSlot-want)/want > 0.15 {
+		t.Errorf("CAIDA mean arrivals/slot = %g, want ≈%g", perSlot, want)
+	}
+}
+
+func TestGenerateCAIDAHeavyTailSpatialSkew(t *testing.T) {
+	g := topo.MustBuild(topo.Iris, 9)
+	p := smallParams()
+	tr, err := GenerateCAIDA(g, p, DefaultCAIDAParams(), testRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[graph.NodeID]float64{}
+	for _, r := range tr.Requests {
+		counts[r.Ingress]++
+	}
+	var xs []float64
+	for _, v := range g.EdgeNodes() {
+		xs = append(xs, counts[v])
+	}
+	if j := stats.JainIndex(xs); j > 0.99 {
+		t.Errorf("CAIDA trace spatially uniform (Jain %g); expected skew", j)
+	}
+}
+
+func TestGenerateCAIDAParamErrors(t *testing.T) {
+	g := topo.MustBuild(topo.CittaStudi, 1)
+	p := smallParams()
+	if _, err := GenerateCAIDA(g, p, CAIDAParams{Sources: 0, ParetoAlpha: 1.3}, testRNG(1)); err == nil {
+		t.Error("Sources=0 did not error")
+	}
+	if _, err := GenerateCAIDA(g, p, CAIDAParams{Sources: 10, ParetoAlpha: 1.0}, testRNG(1)); err == nil {
+		t.Error("ParetoAlpha=1 did not error")
+	}
+}
+
+func TestGenerateParamValidation(t *testing.T) {
+	g := topo.MustBuild(topo.CittaStudi, 1)
+	bad := []Params{
+		{},
+		{Slots: 10},
+		{Slots: 10, LambdaPerNode: 1},
+		{Slots: 10, LambdaPerNode: 1, DemandMean: 1},
+		{Slots: 10, LambdaPerNode: 1, DemandMean: 1, DurationMean: 1},
+	}
+	for i, p := range bad {
+		if _, err := GenerateMMPP(g, p, testRNG(1)); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestShuffleIngress(t *testing.T) {
+	g := topo.MustBuild(topo.Iris, 10)
+	p := smallParams()
+	tr, err := GenerateMMPP(g, p, testRNG(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := ShuffleIngress(tr, g, testRNG(11))
+	if len(shuffled.Requests) != len(tr.Requests) {
+		t.Fatal("ShuffleIngress changed request count")
+	}
+	moved := 0
+	edgeSet := map[graph.NodeID]bool{}
+	for _, v := range g.EdgeNodes() {
+		edgeSet[v] = true
+	}
+	for i := range shuffled.Requests {
+		if !edgeSet[shuffled.Requests[i].Ingress] {
+			t.Fatal("shuffled ingress is not an edge node")
+		}
+		if shuffled.Requests[i].Ingress != tr.Requests[i].Ingress {
+			moved++
+		}
+		if shuffled.Requests[i].Demand != tr.Requests[i].Demand {
+			t.Fatal("ShuffleIngress altered demand")
+		}
+	}
+	if moved == 0 {
+		t.Error("ShuffleIngress moved no requests")
+	}
+	// Original untouched.
+	if &shuffled.Requests[0] == &tr.Requests[0] {
+		t.Error("ShuffleIngress aliases the original slice")
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := testRNG(12)
+	for _, mean := range []float64{0.5, 3, 12, 80} {
+		var w stats.Welford
+		for i := 0; i < 20000; i++ {
+			w.Add(float64(poisson(mean, rng)))
+		}
+		if math.Abs(w.Mean()-mean)/mean > 0.05 {
+			t.Errorf("poisson(%g) sample mean %g", mean, w.Mean())
+		}
+		if math.Abs(w.Variance()-mean)/mean > 0.15 {
+			t.Errorf("poisson(%g) sample variance %g, want ≈%g", mean, w.Variance(), mean)
+		}
+	}
+	if poisson(0, rng) != 0 || poisson(-1, rng) != 0 {
+		t.Error("poisson of non-positive mean should be 0")
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := zipfWeights(4, 1)
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum %g, want 1", sum)
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] > w[i-1] {
+			t.Fatal("weights not decreasing")
+		}
+	}
+	if math.Abs(w[0]/w[3]-4) > 1e-9 {
+		t.Fatalf("rank-1/rank-4 ratio %g, want 4 (α=1)", w[0]/w[3])
+	}
+}
+
+func TestDeparts(t *testing.T) {
+	r := Request{Arrive: 5, Duration: 3}
+	if r.Departs() != 8 {
+		t.Fatalf("Departs = %d, want 8", r.Departs())
+	}
+}

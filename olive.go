@@ -1,0 +1,356 @@
+// Package olive is the public API of this reproduction of "Plan-Based
+// Scalable Online Virtual Network Embedding" (ICDCS 2025): the OLIVE
+// plan-based online VNE algorithm, the PLAN-VNE offline planner, the
+// QUICKG/FULLG/SLOTOFF baselines, the evaluation substrates (topologies,
+// applications, workloads), and the simulation harness that regenerates
+// every figure of the paper.
+//
+// The heavy machinery lives in internal packages; this package re-exports
+// the stable surface via type aliases and thin wrappers, so downstream
+// users never import internal paths.
+//
+// # Quick start
+//
+//	g := olive.BuildTopology(olive.TopoIris, 1)
+//	rng := rand.New(rand.NewPCG(7, 7))
+//	apps := olive.DefaultAppMix(rng)
+//
+//	// Generate a workload, split into history + online phase.
+//	wp := olive.DefaultWorkload().WithUtilization(1.0)
+//	trace, _ := olive.GenerateMMPP(g, wp, rng)
+//	hist, online, _ := trace.Split(5400)
+//
+//	// Offline: build the embedding plan from the history.
+//	p, _ := olive.BuildPlan(g, apps, hist, olive.DefaultPlanOptions(), rng)
+//
+//	// Online: run OLIVE over the live requests.
+//	eng, _ := olive.NewEngine(g, apps, olive.EngineOptions{Plan: p})
+//	for t, slot := range online.PerSlot() {
+//		eng.StartSlot(t)
+//		for _, r := range slot {
+//			out, _ := eng.Process(r)
+//			_ = out.Accepted
+//		}
+//	}
+package olive
+
+import (
+	"io"
+	"math/rand/v2"
+
+	"github.com/olive-vne/olive/internal/core"
+	"github.com/olive-vne/olive/internal/embedder"
+	"github.com/olive-vne/olive/internal/graph"
+	"github.com/olive-vne/olive/internal/persist"
+	"github.com/olive-vne/olive/internal/plan"
+	"github.com/olive-vne/olive/internal/sim"
+	"github.com/olive-vne/olive/internal/topo"
+	"github.com/olive-vne/olive/internal/vnet"
+	"github.com/olive-vne/olive/internal/workload"
+)
+
+// ---- Substrate network ----
+
+type (
+	// Substrate is the physical network: datacenters and links with
+	// capacities and per-CU costs.
+	Substrate = graph.Graph
+	// Node is a substrate datacenter.
+	Node = graph.Node
+	// Link is a substrate link.
+	Link = graph.Link
+	// NodeID identifies a substrate node.
+	NodeID = graph.NodeID
+	// LinkID identifies a substrate link.
+	LinkID = graph.LinkID
+	// ElementID indexes a substrate element (node or link) in the flat
+	// element space used by capacity/residual vectors.
+	ElementID = graph.ElementID
+	// Tier classifies nodes as edge, transport or core.
+	Tier = graph.Tier
+	// Path is a substrate path.
+	Path = graph.Path
+)
+
+// Node tiers.
+const (
+	TierEdge      = graph.TierEdge
+	TierTransport = graph.TierTransport
+	TierCore      = graph.TierCore
+)
+
+// NewSubstrate returns an empty substrate graph for manual construction.
+func NewSubstrate() *Substrate { return graph.New() }
+
+// ---- Topologies (Table II) ----
+
+// TopologyName identifies one of the four evaluation topologies.
+type TopologyName = topo.Name
+
+// The four evaluation topologies.
+const (
+	TopoIris       = topo.Iris
+	TopoCittaStudi = topo.CittaStudi
+	Topo5GEN       = topo.FiveGEN
+	Topo100N150E   = topo.Random100
+)
+
+// AllTopologies lists the four evaluation topologies.
+func AllTopologies() []TopologyName { return topo.All() }
+
+// BuildTopology deterministically constructs a named evaluation topology.
+func BuildTopology(name TopologyName, seed uint64) *Substrate {
+	return topo.MustBuild(name, seed)
+}
+
+// MakeGPUVariant adapts a substrate for the GPU scenario of Fig. 10.
+func MakeGPUVariant(g *Substrate, gpuEdgeNodes int, seed uint64) *Substrate {
+	return topo.MakeGPUVariant(g, gpuEdgeNodes, seed)
+}
+
+// FindNode returns the ID of the node with the given name.
+func FindNode(g *Substrate, name string) (NodeID, bool) { return topo.FindNode(g, name) }
+
+// ---- Applications (virtual networks) ----
+
+type (
+	// App is a virtual network: a rooted tree of VNFs.
+	App = vnet.App
+	// VNF is a virtual network function.
+	VNF = vnet.VNF
+	// VLink is a virtual link.
+	VLink = vnet.VLink
+	// AppKind names an application family (chain/tree/accelerator/GPU).
+	AppKind = vnet.Kind
+	// AppParams configures random application generation.
+	AppParams = vnet.Params
+	// Embedding is an integral mapping of an App onto a Substrate.
+	Embedding = vnet.Embedding
+)
+
+// Application families.
+const (
+	KindChain       = vnet.KindChain
+	KindTree        = vnet.KindTree
+	KindAccelerator = vnet.KindAccelerator
+	KindGPU         = vnet.KindGPU
+)
+
+// DefaultAppParams returns the Table III application parameters.
+func DefaultAppParams() AppParams { return vnet.DefaultParams() }
+
+// DefaultAppMix draws the paper's standard application set: two chains,
+// one tree, one accelerator.
+func DefaultAppMix(rng *rand.Rand) []*App { return vnet.DefaultMix(vnet.DefaultParams(), rng) }
+
+// GenerateApp draws one application of the given kind.
+func GenerateApp(kind AppKind, name string, p AppParams, rng *rand.Rand) *App {
+	return vnet.Generate(kind, name, p, rng)
+}
+
+// NewEmbedding builds (and validates) an integral embedding.
+func NewEmbedding(g *Substrate, app *App, nodeMap []NodeID, pathMap []Path) (*Embedding, error) {
+	return vnet.NewEmbedding(g, app, nodeMap, pathMap)
+}
+
+// ---- Workloads (Table III traces) ----
+
+type (
+	// Request is one online embedding request.
+	Request = workload.Request
+	// Trace is a time-ordered request sequence.
+	Trace = workload.Trace
+	// WorkloadParams configures trace generation.
+	WorkloadParams = workload.Params
+	// CAIDAParams configures the CAIDA-like trace substitute.
+	CAIDAParams = workload.CAIDAParams
+)
+
+// DefaultWorkload returns the Table III workload parameters.
+func DefaultWorkload() WorkloadParams { return workload.DefaultParams() }
+
+// GenerateMMPP produces the bursty MMPP trace of §IV-A.
+func GenerateMMPP(g *Substrate, p WorkloadParams, rng *rand.Rand) (*Trace, error) {
+	return workload.GenerateMMPP(g, p, rng)
+}
+
+// GenerateCAIDA produces the CAIDA-like heavy-tailed trace substitute.
+func GenerateCAIDA(g *Substrate, p WorkloadParams, cp CAIDAParams, rng *rand.Rand) (*Trace, error) {
+	return workload.GenerateCAIDA(g, p, cp, rng)
+}
+
+// DefaultCAIDAParams returns the substitute-trace parameters.
+func DefaultCAIDAParams() CAIDAParams { return workload.DefaultCAIDAParams() }
+
+// ---- Planning (PLAN-VNE, §III-A/B) ----
+
+type (
+	// Plan is a PLAN-VNE solution: per-class fractional shares over
+	// integral embeddings plus rejection fractions.
+	Plan = plan.Plan
+	// PlanClass is one aggregate request class (app, ingress, demand).
+	PlanClass = plan.Class
+	// ClassPlan is the plan of one class.
+	ClassPlan = plan.ClassPlan
+	// PlanShare is one fractional share of a class plan.
+	PlanShare = plan.Share
+	// PlanOptions configures plan construction.
+	PlanOptions = plan.Options
+)
+
+// DefaultPlanOptions returns the paper's plan parameters (P=10 quantiles,
+// P̂80 aggregation, column generation to optimality).
+func DefaultPlanOptions() PlanOptions { return plan.DefaultOptions() }
+
+// AggregateHistory groups a request history into per-(app, ingress)
+// classes with bootstrap-estimated expected demand (§III-A).
+func AggregateHistory(hist *Trace, numApps int, alpha float64, bootstrapB int, rng *rand.Rand) ([]PlanClass, error) {
+	return plan.Aggregate(hist, numApps, alpha, bootstrapB, rng)
+}
+
+// BuildPlan aggregates hist and solves PLAN-VNE.
+func BuildPlan(g *Substrate, apps []*App, hist *Trace, opts PlanOptions, rng *rand.Rand) (*Plan, error) {
+	return plan.BuildFromHistory(g, apps, hist, opts, rng)
+}
+
+// BuildPlanFromClasses solves PLAN-VNE over pre-computed classes.
+func BuildPlanFromClasses(g *Substrate, apps []*App, classes []PlanClass, opts PlanOptions) (*Plan, error) {
+	return plan.Build(g, apps, classes, opts)
+}
+
+// RejectionFactor returns the paper's conservative rejection penalty ψ for
+// an application on a substrate.
+func RejectionFactor(g *Substrate, app *App) float64 {
+	return plan.DefaultRejectionFactor(g, app)
+}
+
+// ---- Online embedding (OLIVE, §III-C) ----
+
+type (
+	// Engine is the OLIVE online embedding engine (QUICKG/FULLG when
+	// configured without a plan).
+	Engine = core.Engine
+	// EngineOptions configures an Engine.
+	EngineOptions = core.Options
+	// Outcome is the result of processing one request.
+	Outcome = core.Outcome
+	// Algorithm names one of the evaluated algorithms.
+	Algorithm = core.Algorithm
+	// SlotOff is the per-slot offline re-optimization baseline.
+	SlotOff = core.SlotOff
+)
+
+// The evaluated algorithms.
+const (
+	OLIVE   = core.AlgoOLIVE
+	QUICKG  = core.AlgoQuickG
+	FULLG   = core.AlgoFullG
+	SLOTOFF = core.AlgoSlotOff
+)
+
+// NewEngine builds an online embedding engine.
+func NewEngine(g *Substrate, apps []*App, opts EngineOptions) (*Engine, error) {
+	return core.NewEngine(g, apps, opts)
+}
+
+// NewSlotOff builds the SLOTOFF baseline.
+func NewSlotOff(g *Substrate, apps []*App) (*SlotOff, error) {
+	return core.NewSlotOff(g, apps, core.SlotOffOptions())
+}
+
+// ---- Exact embedding (FULLG's oracle) ----
+
+// MinCostEmbedding returns the cost-minimal integral embedding of app with
+// its root pinned at ingress, ignoring capacities. ok is false when no
+// placement satisfies the η exclusions.
+func MinCostEmbedding(g *Substrate, app *App, ingress NodeID) (*Embedding, float64, bool) {
+	return embedder.NewOracle(g, embedder.CostPrices(g)).MinCostEmbed(app, ingress)
+}
+
+// BestCollocatedEmbedding returns the cheapest collocated embedding that
+// fits demand d within the residual capacities res (nil res skips the
+// feasibility check).
+func BestCollocatedEmbedding(g *Substrate, app *App, ingress NodeID, res []float64, d float64) (*Embedding, float64, bool) {
+	return embedder.NewOracle(g, embedder.CostPrices(g)).BestCollocated(app, ingress, res, d)
+}
+
+// ---- Simulation & experiments (§IV) ----
+
+type (
+	// SimConfig describes one simulation run.
+	SimConfig = sim.Config
+	// SimResult is the outcome of one run.
+	SimResult = sim.RunResult
+	// AlgoResult carries one algorithm's metrics.
+	AlgoResult = sim.AlgoResult
+	// RepeatedResult aggregates repeated runs with 95% CIs.
+	RepeatedResult = sim.RepeatedResult
+	// ExperimentScale trades fidelity for runtime in the experiment
+	// generators.
+	ExperimentScale = sim.Scale
+	// ResultTable is a printable experiment result.
+	ResultTable = sim.Table
+)
+
+// Trace kinds for SimConfig.
+const (
+	TraceMMPP  = sim.TraceMMPP
+	TraceCAIDA = sim.TraceCAIDA
+)
+
+// DefaultSimConfig returns the paper-scale configuration for one topology
+// and utilization.
+func DefaultSimConfig(t TopologyName, util float64, seed uint64) SimConfig {
+	return sim.DefaultConfig(t, util, seed)
+}
+
+// QuickSimConfig returns a scaled-down configuration for smoke runs.
+func QuickSimConfig(t TopologyName, util float64, seed uint64) SimConfig {
+	return sim.QuickConfig(t, util, seed)
+}
+
+// RunSim executes one simulation run.
+func RunSim(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// RunSimRepeated executes repeated runs and aggregates the headline
+// metrics with confidence intervals.
+func RunSimRepeated(cfg SimConfig, reps int) (*RepeatedResult, error) {
+	return sim.RunRepeated(cfg, reps)
+}
+
+// PaperScale returns the full Table III experiment scale (30 reps × 6000
+// slots).
+func PaperScale() ExperimentScale { return sim.PaperScale() }
+
+// SmokeScale returns a reduced experiment scale for quick regeneration.
+func SmokeScale() ExperimentScale { return sim.SmokeScale() }
+
+// ---- Persistence ----
+
+// SaveTrace writes a trace as versioned JSON.
+func SaveTrace(w io.Writer, t *Trace) error { return persist.SaveTrace(w, t) }
+
+// LoadTrace reads a trace written by SaveTrace and validates it.
+func LoadTrace(r io.Reader) (*Trace, error) { return persist.LoadTrace(r) }
+
+// SavePlan writes a plan as versioned JSON (embeddings stored
+// structurally).
+func SavePlan(w io.Writer, p *Plan) error { return persist.SavePlan(w, p) }
+
+// LoadPlan reads a plan written by SavePlan, rebuilding and revalidating
+// every embedding against the substrate and application set.
+func LoadPlan(r io.Reader, g *Substrate, apps []*App) (*Plan, error) {
+	return persist.LoadPlan(r, g, apps)
+}
+
+// ---- Time-varying plans (paper §VI future work) ----
+
+// WindowedPlan holds one PLAN-VNE solution per window of a demand cycle;
+// the engine swaps plans at window boundaries via Engine.SwapPlan.
+type WindowedPlan = plan.WindowedPlan
+
+// BuildWindowedPlan aggregates the history per window position within the
+// demand cycle (period slots) and solves one PLAN-VNE instance per window.
+func BuildWindowedPlan(g *Substrate, apps []*App, hist *Trace, period, windows int, opts PlanOptions, rng *rand.Rand) (*WindowedPlan, error) {
+	return plan.BuildWindowed(g, apps, hist, period, windows, opts, rng)
+}

@@ -1,0 +1,230 @@
+package olive_test
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	olive "github.com/olive-vne/olive"
+)
+
+// TestPublicAPIEndToEnd exercises the documented quick-start flow through
+// the facade only.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g := olive.BuildTopology(olive.TopoCittaStudi, 1)
+	if g.NumNodes() != 30 || g.NumLinks() != 35 {
+		t.Fatalf("topology size %d/%d, want 30/35", g.NumNodes(), g.NumLinks())
+	}
+	rng := rand.New(rand.NewPCG(7, 7))
+	apps := olive.DefaultAppMix(rng)
+	if len(apps) != 4 {
+		t.Fatalf("app mix size %d, want 4", len(apps))
+	}
+
+	wp := olive.DefaultWorkload().WithUtilization(1.0)
+	wp.Slots = 150
+	trace, err := olive.GenerateMMPP(g, wp, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, online, err := trace.Split(110)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	popts := olive.DefaultPlanOptions()
+	popts.BootstrapB = 20
+	p, err := olive.BuildPlan(g, apps, hist, popts, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Empty() {
+		t.Fatal("empty plan")
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := olive.NewEngine(g, apps, olive.EngineOptions{Plan: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Algorithm() != olive.OLIVE {
+		t.Fatalf("engine algorithm %v, want OLIVE", eng.Algorithm())
+	}
+	var accepted, total int
+	for ts, slot := range online.PerSlot() {
+		eng.StartSlot(ts)
+		for _, r := range slot {
+			out, err := eng.Process(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			if out.Accepted {
+				accepted++
+			}
+		}
+	}
+	if total == 0 || accepted == 0 {
+		t.Fatalf("accepted %d of %d requests", accepted, total)
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIExactAndCollocatedEmbedding(t *testing.T) {
+	g := olive.BuildTopology(olive.TopoCittaStudi, 2)
+	rng := rand.New(rand.NewPCG(9, 9))
+	app := olive.GenerateApp(olive.KindChain, "c", olive.DefaultAppParams(), rng)
+	ingress := g.EdgeNodes()[0]
+
+	exact, exactCost, ok := olive.MinCostEmbedding(g, app, ingress)
+	if !ok {
+		t.Fatal("no exact embedding")
+	}
+	colo, coloCost, ok := olive.BestCollocatedEmbedding(g, app, ingress, nil, 1)
+	if !ok {
+		t.Fatal("no collocated embedding")
+	}
+	if exactCost > coloCost+1e-9 {
+		t.Fatalf("exact cost %g worse than collocated %g", exactCost, coloCost)
+	}
+	if exact.App != app || colo.App != app {
+		t.Fatal("embeddings reference wrong app")
+	}
+}
+
+func TestPublicAPISlotOff(t *testing.T) {
+	g := olive.BuildTopology(olive.TopoCittaStudi, 3)
+	rng := rand.New(rand.NewPCG(11, 11))
+	apps := olive.DefaultAppMix(rng)
+	so, err := olive.NewSlotOff(g, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := so.Step(0, []olive.Request{
+		{ID: 0, App: 0, Ingress: g.EdgeNodes()[0], Demand: 5, Arrive: 0, Duration: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AcceptedNew) != 1 {
+		t.Fatalf("SLOTOFF rejected a trivial request: %+v", res)
+	}
+}
+
+func TestPublicAPISimulation(t *testing.T) {
+	cfg := olive.QuickSimConfig(olive.TopoCittaStudi, 1.0, 4)
+	cfg.HistSlots, cfg.OnlineSlots = 100, 30
+	cfg.MeasureFrom, cfg.MeasureTo = 5, 25
+	cfg.Algorithms = []olive.Algorithm{olive.OLIVE, olive.QUICKG}
+	rr, err := olive.RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Results[olive.OLIVE] == nil || rr.Results[olive.QUICKG] == nil {
+		t.Fatal("missing results")
+	}
+}
+
+func TestPublicAPIGPUVariant(t *testing.T) {
+	g := olive.BuildTopology(olive.TopoIris, 5)
+	v := olive.MakeGPUVariant(g, 4, 5)
+	var gpus int
+	for _, n := range v.Nodes() {
+		if n.GPU {
+			gpus++
+		}
+	}
+	if gpus == 0 {
+		t.Fatal("no GPU datacenters in variant")
+	}
+	if _, ok := olive.FindNode(g, "Franklin"); !ok {
+		t.Fatal("Franklin missing from Iris")
+	}
+}
+
+func TestPublicAPIPersistence(t *testing.T) {
+	g := olive.BuildTopology(olive.TopoCittaStudi, 8)
+	rng := rand.New(rand.NewPCG(8, 8))
+	apps := olive.DefaultAppMix(rng)
+	wp := olive.DefaultWorkload().WithUtilization(1.0)
+	wp.Slots = 100
+	wp.LambdaPerNode = 2
+	trace, err := olive.GenerateMMPP(g, wp, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbuf bytes.Buffer
+	if err := olive.SaveTrace(&tbuf, trace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := olive.LoadTrace(&tbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Requests) != len(trace.Requests) {
+		t.Fatal("trace round trip lost requests")
+	}
+
+	popts := olive.DefaultPlanOptions()
+	popts.BootstrapB = 20
+	p, err := olive.BuildPlan(g, apps, trace, popts, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pbuf bytes.Buffer
+	if err := olive.SavePlan(&pbuf, p); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := olive.LoadPlan(&pbuf, g, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Classes) != len(p.Classes) {
+		t.Fatal("plan round trip lost classes")
+	}
+	// A loaded plan drives an engine directly.
+	eng, err := olive.NewEngine(g, apps, olive.EngineOptions{Plan: p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Algorithm() != olive.OLIVE {
+		t.Fatal("loaded plan did not activate OLIVE mode")
+	}
+}
+
+func TestPublicAPIWindowedPlan(t *testing.T) {
+	g := olive.BuildTopology(olive.TopoCittaStudi, 9)
+	rng := rand.New(rand.NewPCG(9, 9))
+	apps := olive.DefaultAppMix(rng)
+	wp := olive.DefaultWorkload().WithUtilization(1.0)
+	wp.Slots = 160
+	wp.LambdaPerNode = 2
+	cp := olive.DefaultCAIDAParams()
+	cp.DiurnalPeriod = 80
+	trace, err := olive.GenerateCAIDA(g, wp, cp, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	popts := olive.DefaultPlanOptions()
+	popts.BootstrapB = 20
+	w, err := olive.BuildWindowedPlan(g, apps, trace, 80, 4, popts, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Windows() != 4 {
+		t.Fatalf("windows = %d", w.Windows())
+	}
+	eng, err := olive.NewEngine(g, apps, olive.EngineOptions{Plan: w.At(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.StartSlot(0)
+	eng.SwapPlan(w.At(25))
+	if err := eng.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
