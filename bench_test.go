@@ -11,7 +11,9 @@
 package olive_test
 
 import (
+	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -236,6 +238,41 @@ func BenchmarkFig16Runtime(b *testing.B) {
 				}
 				if i == 0 {
 					logTable(b, tbl)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunnerParallelVsSequential measures the experiment runner's
+// fan-out: the same 8-cell sweep (2 utilizations × 4 reps) with 1 worker
+// versus GOMAXPROCS workers. On an N-core machine the parallel
+// sub-benchmark's ns/op approaches 1/N of the sequential one; the results
+// are bit-identical either way (the runner's determinism contract, proven
+// by TestRunRepeatedParallelMatchesSequential).
+func BenchmarkRunnerParallelVsSequential(b *testing.B) {
+	sweepCells := func() []sim.SweepCell {
+		cells := make([]sim.SweepCell, 0, 2)
+		for _, u := range []float64{0.8, 1.2} {
+			cfg := sim.QuickConfig(topo.CittaStudi, u, 1)
+			cfg.HistSlots = 100
+			cfg.OnlineSlots = 40
+			cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE, core.AlgoQuickG}
+			cells = append(cells, sim.SweepCell{Config: cfg, Reps: 4})
+		}
+		return cells
+	}
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	} else {
+		workerCounts = append(workerCounts, 2) // single-core: measures overhead only
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunSweep(sweepCells(), sim.RunnerOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

@@ -1,24 +1,32 @@
 // Command vnesim regenerates the paper's experiments. Each experiment
 // prints the rows/series the corresponding figure or table reports.
+// Experiment cells (rep × topology × utilization × trace) fan out across
+// a parallel runner; with -out each completed cell is persisted so an
+// interrupted sweep resumes (-resume) instead of recomputing.
 //
 // Usage:
 //
 //	vnesim -exp fig6 -topo iris -scale smoke
-//	vnesim -exp all -scale smoke
-//	vnesim -exp fig16a -scale paper
+//	vnesim -exp all -scale smoke -workers 8
+//	vnesim -exp fig16a -scale paper -out results/ -resume -progress
 //
 // Experiments: table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 // fig14 fig15 fig16a fig16 all. Scales: smoke (minutes) and paper
-// (Table III: 30 reps × 6000 slots — hours).
+// (Table III: 30 reps × 6000 slots — hours sequentially; the runner
+// divides that by the worker count).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
+	"github.com/olive-vne/olive/internal/runner"
 	"github.com/olive-vne/olive/internal/sim"
 	"github.com/olive-vne/olive/internal/topo"
 )
@@ -38,8 +46,15 @@ func run(args []string) error {
 	reps := fs.Int("reps", 0, "override repetition count")
 	seed := fs.Uint64("seed", 0, "override base seed")
 	utils := fs.String("utils", "", "override utilization sweep, e.g. 0.6,1.0,1.4")
+	workers := fs.Int("workers", 0, "parallel workers for experiment cells (0 = GOMAXPROCS)")
+	out := fs.String("out", "", "artifact directory: persist each completed cell as versioned JSON")
+	resume := fs.Bool("resume", false, "with -out: load cached cell artifacts instead of recomputing them")
+	progress := fs.Bool("progress", false, "report per-cell progress and ETA on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *out == "" {
+		return errors.New("-resume requires -out")
 	}
 
 	var scale sim.Scale
@@ -66,6 +81,30 @@ func run(args []string) error {
 			}
 			scale.Utils = append(scale.Utils, u)
 		}
+	}
+
+	// Parallel runner: Ctrl-C cancels the sweep (in-flight cells finish
+	// and persist; with -out, rerunning with -resume picks up where the
+	// sweep stopped). Release the handler on the first interrupt so a
+	// second Ctrl-C terminates immediately instead of being swallowed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	scale.Runner.Context = ctx
+	scale.Runner.Workers = *workers
+	if *out != "" {
+		store, err := runner.OpenStore(*out)
+		if err != nil {
+			return err
+		}
+		scale.Runner.Store = store
+		scale.Runner.Resume = *resume
+	}
+	if *progress {
+		scale.Runner.Reporter = runner.NewTextReporter(os.Stderr)
 	}
 
 	topos := topo.All()

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunTables(t *testing.T) {
 	if err := run([]string{"-exp", "table2"}); err != nil {
@@ -23,5 +27,38 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-exp", "fig6", "-utils", "abc"}); err == nil {
 		t.Error("bad utils accepted")
+	}
+	if err := run([]string{"-exp", "fig6", "-resume"}); err == nil {
+		t.Error("-resume without -out accepted")
+	}
+}
+
+// TestRunPersistsAndResumesArtifacts runs one tiny fig6 cell with -out,
+// checks the artifact landed, and reruns with -resume against the warm
+// store.
+func TestRunPersistsAndResumesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{
+		"-exp", "fig6", "-topo", "cittastudi", "-utils", "1.0",
+		"-reps", "1", "-workers", "2", "-out", dir,
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	artifacts := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".json" {
+			artifacts++
+		}
+	}
+	if artifacts == 0 {
+		t.Fatal("-out produced no artifacts")
+	}
+	if err := run(append(args, "-resume")); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,3 @@
+module github.com/olive-vne/olive
+
+go 1.24

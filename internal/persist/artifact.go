@@ -1,0 +1,49 @@
+package persist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// artifactFile is the JSON envelope for a cached experiment artifact: one
+// completed sweep cell, keyed by the canonical cell descriptor so a resumed
+// sweep can detect stale or colliding entries.
+type artifactFile struct {
+	Version int             `json:"version"`
+	Key     string          `json:"key"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// SaveArtifact writes v as a versioned JSON artifact tagged with key.
+func SaveArtifact(w io.Writer, key string, v any) error {
+	if key == "" {
+		return errors.New("persist: empty artifact key")
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("persist: encode artifact %q: %w", key, err)
+	}
+	return json.NewEncoder(w).Encode(artifactFile{Version: Version, Key: key, Payload: payload})
+}
+
+// LoadArtifact reads an artifact written by SaveArtifact into out,
+// rejecting version mismatches and entries written under a different key
+// (a hash collision or a stale store directory).
+func LoadArtifact(r io.Reader, key string, out any) error {
+	var f artifactFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return fmt.Errorf("persist: decode artifact %q: %w", key, err)
+	}
+	if f.Version != Version {
+		return fmt.Errorf("persist: artifact %q version %d, want %d", key, f.Version, Version)
+	}
+	if f.Key != key {
+		return fmt.Errorf("persist: artifact key mismatch: stored %q (hash collision or stale store)", f.Key)
+	}
+	if err := json.Unmarshal(f.Payload, out); err != nil {
+		return fmt.Errorf("persist: decode artifact %q payload: %w", key, err)
+	}
+	return nil
+}

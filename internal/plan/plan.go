@@ -158,8 +158,22 @@ func Aggregate(hist *workload.Trace, numApps int, alpha float64, bootstrapB int,
 		}
 		d[dep] -= r.Demand
 	}
+	// Consume the rng in canonical class order, not map order: each
+	// class's bootstrap must draw the same stream no matter how the map
+	// iterates, or plans (and everything downstream) vary run to run.
+	keys := make([]seriesKey, 0, len(diffs))
+	for k := range diffs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].app != keys[j].app {
+			return keys[i].app < keys[j].app
+		}
+		return keys[i].ingress < keys[j].ingress
+	})
 	classes := make([]Class, 0, len(diffs))
-	for k, d := range diffs {
+	for _, k := range keys {
+		d := diffs[k]
 		series := make([]float64, hist.Slots)
 		var acc float64
 		for t := 0; t < hist.Slots; t++ {

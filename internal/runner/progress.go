@@ -1,0 +1,77 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Reporter observes a fan-out's progress. Implementations must be safe for
+// concurrent use: Done is called from worker goroutines.
+type Reporter interface {
+	// Start announces the fan-out: total jobs, of which cached were
+	// satisfied from the artifact store without running.
+	Start(total, cached int)
+	// Done reports one finished job by its display label (err is nil on
+	// success).
+	Done(label string, elapsed time.Duration, err error)
+	// Finish reports the end of the fan-out and its total wall time.
+	Finish(elapsed time.Duration)
+}
+
+// TextReporter prints one progress line per completed job with a running
+// ETA extrapolated from throughput so far (wall time per completed job
+// times jobs remaining — parallelism is already folded into the rate).
+type TextReporter struct {
+	W io.Writer
+
+	mu      sync.Mutex
+	total   int
+	done    int
+	ran     int // jobs actually executed (excludes cache hits)
+	started time.Time
+}
+
+// NewTextReporter returns a TextReporter writing to w.
+func NewTextReporter(w io.Writer) *TextReporter { return &TextReporter{W: w} }
+
+// Start implements Reporter.
+func (r *TextReporter) Start(total, cached int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total = total
+	r.done = cached
+	r.ran = 0
+	r.started = time.Now()
+	if cached > 0 {
+		fmt.Fprintf(r.W, "runner: %d jobs (%d cached)\n", total, cached)
+	} else {
+		fmt.Fprintf(r.W, "runner: %d jobs\n", total)
+	}
+}
+
+// Done implements Reporter.
+func (r *TextReporter) Done(label string, elapsed time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.done++
+	r.ran++
+	status := "done"
+	if err != nil {
+		status = "FAILED"
+	}
+	line := fmt.Sprintf("runner: [%d/%d] %s %s (%.2fs)", r.done, r.total, status, label, elapsed.Seconds())
+	if remaining := r.total - r.done; remaining > 0 && r.ran > 0 {
+		eta := time.Since(r.started) / time.Duration(r.ran) * time.Duration(remaining)
+		line += fmt.Sprintf(" eta %s", eta.Round(time.Second))
+	}
+	fmt.Fprintln(r.W, line)
+}
+
+// Finish implements Reporter.
+func (r *TextReporter) Finish(elapsed time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fmt.Fprintf(r.W, "runner: finished %d/%d jobs in %s\n", r.done, r.total, elapsed.Round(time.Millisecond))
+}

@@ -1,0 +1,224 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// jobN builds n jobs whose value encodes their index; odd jobs sleep a
+// little so completion order differs from dispatch order.
+func jobN(n int, ran *atomic.Int32) []Job[int] {
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key: fmt.Sprintf("job-%d", i),
+			Run: func(context.Context) (int, error) {
+				if ran != nil {
+					ran.Add(1)
+				}
+				if i%2 == 1 {
+					time.Sleep(time.Duration(i%5) * time.Millisecond)
+				}
+				return i * 10, nil
+			},
+		}
+	}
+	return jobs
+}
+
+func TestAllCanonicalOrderAcrossWorkerCounts(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		out, err := All(context.Background(), jobN(23, nil), Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, o := range out {
+			if o.Key != fmt.Sprintf("job-%d", i) || o.Value != i*10 {
+				t.Fatalf("workers=%d: slot %d holds (%s,%d)", workers, i, o.Key, o.Value)
+			}
+		}
+	}
+}
+
+func TestAllBoundsParallelism(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	jobs := make([]Job[int], 20)
+	for i := range jobs {
+		jobs[i] = Job[int]{
+			Key: fmt.Sprintf("j%d", i),
+			Run: func(context.Context) (int, error) {
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+				cur.Add(-1)
+				return 0, nil
+			},
+		}
+	}
+	if _, err := All(context.Background(), jobs, Options{Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, limit %d", p, workers)
+	}
+}
+
+func TestAllIsolatesPanics(t *testing.T) {
+	jobs := []Job[int]{
+		{Key: "ok", Run: func(context.Context) (int, error) { return 1, nil }},
+		{Key: "boom", Run: func(context.Context) (int, error) { panic("kaput") }},
+	}
+	out, err := All(context.Background(), jobs, Options{Workers: 1})
+	if err == nil || !strings.Contains(err.Error(), "kaput") {
+		t.Fatalf("panic not surfaced as error: %v", err)
+	}
+	if out[0].Err != nil || out[0].Value != 1 {
+		t.Fatalf("healthy job corrupted by sibling panic: %+v", out[0])
+	}
+	if out[1].Err == nil || !strings.Contains(out[1].Err.Error(), "kaput") {
+		t.Fatalf("panicking job's outcome lacks the panic: %+v", out[1])
+	}
+}
+
+func TestAllFailsFast(t *testing.T) {
+	boom := errors.New("cell exploded")
+	var ran atomic.Int32
+	jobs := make([]Job[int], 50)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key: fmt.Sprintf("j%d", i),
+			Run: func(context.Context) (int, error) {
+				ran.Add(1)
+				if i == 0 {
+					return 0, boom
+				}
+				return i, nil
+			},
+		}
+	}
+	_, err := All(context.Background(), jobs, Options{Workers: 1})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want %v", err, boom)
+	}
+	if n := ran.Load(); n == 50 {
+		t.Fatal("failure did not cancel the remaining jobs")
+	}
+}
+
+func TestAllCancellationLeavesResumableStore(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Cancel after the first completion: with one worker, job 0 lands in
+	// the store and the rest never run.
+	var once sync.Once
+	var ran atomic.Int32
+	jobs := make([]Job[int], 8)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key: fmt.Sprintf("cell-%d", i),
+			Run: func(context.Context) (int, error) {
+				ran.Add(1)
+				once.Do(cancel)
+				return i + 100, nil
+			},
+		}
+	}
+	out, err := All(ctx, jobs, Options{Workers: 1, Store: store, Resume: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 8 {
+		t.Fatal("cancellation did not stop the sweep")
+	}
+	n, err := store.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no artifact persisted before cancellation")
+	}
+	if out[0].Value != 100 {
+		t.Fatalf("first cell outcome lost: %+v", out[0])
+	}
+
+	// Resume: cached cells are served from the store, the rest run.
+	ran.Store(0)
+	out, err = All(context.Background(), jobs, Options{Workers: 2, Store: store, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := 0
+	for i, o := range out {
+		if o.Value != i+100 {
+			t.Fatalf("cell %d resumed to %d", i, o.Value)
+		}
+		if o.Cached {
+			cached++
+		}
+	}
+	if cached != n {
+		t.Fatalf("resume reused %d artifacts, store had %d", cached, n)
+	}
+	if int(ran.Load()) != len(jobs)-n {
+		t.Fatalf("resume ran %d jobs, want %d", ran.Load(), len(jobs)-n)
+	}
+}
+
+func TestAllWithoutResumeIgnoresCache(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int32
+	jobs := jobN(4, &ran)
+	if _, err := All(context.Background(), jobs, Options{Workers: 2, Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := All(context.Background(), jobs, Options{Workers: 2, Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	if n := ran.Load(); n != 8 {
+		t.Fatalf("Resume=false reran %d jobs, want 8", n)
+	}
+	out, err := All(context.Background(), jobs, Options{Workers: 2, Store: store, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range out {
+		if !o.Cached {
+			t.Fatalf("artifact for %s not reused on resume", o.Key)
+		}
+	}
+}
+
+func TestTextReporterCounts(t *testing.T) {
+	var sb strings.Builder
+	rep := NewTextReporter(&sb)
+	if _, err := All(context.Background(), jobN(5, nil), Options{Workers: 2, Reporter: rep}); err != nil {
+		t.Fatal(err)
+	}
+	log := sb.String()
+	if !strings.Contains(log, "runner: 5 jobs") || !strings.Contains(log, "[5/5]") || !strings.Contains(log, "finished 5/5") {
+		t.Fatalf("reporter output incomplete:\n%s", log)
+	}
+}

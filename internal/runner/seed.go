@@ -1,0 +1,33 @@
+package runner
+
+// Deterministic key hashing: every sweep cell's identity is its key, and
+// the artifact that persists it is named by a stable hash of that key —
+// never by execution order — so any worker count, any interleaving and
+// any resumed run address the same artifacts.
+
+// fnvOffset and fnvPrime are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset uint64 = 0xcbf29ce484222325
+	fnvPrime  uint64 = 0x100000001b3
+)
+
+// Hash64 returns a stable 64-bit hash of key: FNV-1a finished with a
+// splitmix64 avalanche so nearby keys (…rep=1, …rep=2) land far apart.
+// The value is stable across processes and Go versions — it names
+// artifact files on disk, so changing it orphans every existing store.
+func Hash64(key string) uint64 {
+	h := fnvOffset
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	return splitmix64(h)
+}
+
+// splitmix64 is the finalizer of Vigna's SplitMix64 generator.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

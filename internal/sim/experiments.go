@@ -62,6 +62,15 @@ type Scale struct {
 	MeasureTo     int
 	Utils         []float64
 	Seed          uint64
+	// Runner configures the parallel experiment runner every generator
+	// fans its cells out through. The zero value uses GOMAXPROCS
+	// workers with no artifact store.
+	Runner RunnerOptions
+}
+
+// sweep fans the cells out through the scale's runner.
+func (s Scale) sweep(cells []SweepCell) ([]*RepeatedResult, error) {
+	return RunSweep(cells, s.Runner)
 }
 
 // PaperScale returns the full Table III parameters (30 reps × 6000 slots).
@@ -119,11 +128,16 @@ func Fig6And7(t topo.Name, s Scale) (rejection, cost *Table, err error) {
 		Title:  fmt.Sprintf("Fig. 7 (%s): total cost vs utilization", t),
 		Header: []string{"util", "OLIVE", "QUICKG", "SLOTOFF"},
 	}
-	for _, u := range s.Utils {
-		rr, err := RunRepeated(s.config(t, u), s.Reps)
-		if err != nil {
-			return nil, nil, err
-		}
+	cells := make([]SweepCell, len(s.Utils))
+	for i, u := range s.Utils {
+		cells[i] = SweepCell{Config: s.config(t, u), Reps: s.Reps}
+	}
+	results, err := s.sweep(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, u := range s.Utils {
+		rr := results[i]
 		rejection.AddRow(fmt.Sprintf("%.0f%%", u*100),
 			fmtCI(rr.Rejection[core.AlgoOLIVE]),
 			fmtCI(rr.Rejection[core.AlgoQuickG]),
@@ -141,33 +155,31 @@ func Fig6And7(t topo.Name, s Scale) (rejection, cost *Table, err error) {
 // (slots 200–230 at paper scale; scaled proportionally otherwise).
 func Fig8(s Scale) (*Table, error) {
 	cfg := s.config(topo.Iris, 1.4)
-	rr, err := Run(cfg)
-	if err != nil {
-		return nil, err
-	}
-	from := 200
-	if cfg.OnlineSlots < 230 {
-		from = cfg.OnlineSlots / 3
-	}
-	to := from + 30
-	if to > cfg.OnlineSlots {
-		to = cfg.OnlineSlots
-	}
-	tbl := &Table{
-		Title:  fmt.Sprintf("Fig. 8: allocated demand per slot, Iris @140%%, slots %d-%d (demand ÷100)", from, to),
-		Header: []string{"slot", "requested", "OLIVE", "QUICKG", "SLOTOFF"},
-	}
-	olive := rr.Results[core.AlgoOLIVE]
-	quick := rr.Results[core.AlgoQuickG]
-	slot := rr.Results[core.AlgoSlotOff]
-	for t := from; t < to; t++ {
-		tbl.AddRow(fmt.Sprintf("%d", t),
-			fmt.Sprintf("%.1f", olive.PerSlotRequested[t]/100),
-			fmt.Sprintf("%.1f", olive.PerSlotAccepted[t]/100),
-			fmt.Sprintf("%.1f", quick.PerSlotAccepted[t]/100),
-			fmt.Sprintf("%.1f", slot.PerSlotAccepted[t]/100))
-	}
-	return tbl, nil
+	return runTableCell("fig8", cfg, s.Runner, func(rr *RunResult) (*Table, error) {
+		from := 200
+		if cfg.OnlineSlots < 230 {
+			from = cfg.OnlineSlots / 3
+		}
+		to := from + 30
+		if to > cfg.OnlineSlots {
+			to = cfg.OnlineSlots
+		}
+		tbl := &Table{
+			Title:  fmt.Sprintf("Fig. 8: allocated demand per slot, Iris @140%%, slots %d-%d (demand ÷100)", from, to),
+			Header: []string{"slot", "requested", "OLIVE", "QUICKG", "SLOTOFF"},
+		}
+		olive := rr.Results[core.AlgoOLIVE]
+		quick := rr.Results[core.AlgoQuickG]
+		slot := rr.Results[core.AlgoSlotOff]
+		for t := from; t < to; t++ {
+			tbl.AddRow(fmt.Sprintf("%d", t),
+				fmt.Sprintf("%.1f", olive.PerSlotRequested[t]/100),
+				fmt.Sprintf("%.1f", olive.PerSlotAccepted[t]/100),
+				fmt.Sprintf("%.1f", quick.PerSlotAccepted[t]/100),
+				fmt.Sprintf("%.1f", slot.PerSlotAccepted[t]/100))
+		}
+		return tbl, nil
+	})
 }
 
 // Fig9 regenerates the application-type sensitivity (Fig. 9): rejection
@@ -187,14 +199,19 @@ func Fig9(s Scale) (*Table, error) {
 		{"Acc", vnet.KindAccelerator},
 		{"Mix", 0},
 	}
-	for _, c := range cases {
+	cells := make([]SweepCell, len(cases))
+	for i, c := range cases {
 		cfg := s.config(topo.Iris, 1.0)
 		cfg.AppKind = c.kind
 		cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE, core.AlgoQuickG, core.AlgoFullG, core.AlgoSlotOff}
-		rr, err := RunRepeated(cfg, s.Reps)
-		if err != nil {
-			return nil, err
-		}
+		cells[i] = SweepCell{Config: cfg, Reps: s.Reps}
+	}
+	results, err := s.sweep(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cases {
+		rr := results[i]
 		tbl.AddRow(c.label,
 			fmtCI(rr.Rejection[core.AlgoOLIVE]),
 			fmtCI(rr.Rejection[core.AlgoQuickG]),
@@ -211,10 +228,11 @@ func Fig10(s Scale) (*Table, error) {
 	cfg := s.config(topo.Iris, 1.0)
 	cfg.GPU = true
 	cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE, core.AlgoFullG, core.AlgoSlotOff}
-	rr, err := RunRepeated(cfg, s.Reps)
+	results, err := s.sweep([]SweepCell{{Config: cfg, Reps: s.Reps}})
 	if err != nil {
 		return nil, err
 	}
+	rr := results[0]
 	tbl := &Table{
 		Title:  "Fig. 10: GPU scenario rejection rate, Iris @100%",
 		Header: []string{"algorithm", "rejection"},
@@ -233,23 +251,25 @@ func Fig11(s Scale) (*Table, error) {
 		Title:  "Fig. 11: rejection balance index by quantiles, Iris @140%",
 		Header: []string{"variant", "balance index"},
 	}
-	for _, q := range []int{1, 2, 10, 50} {
+	quantiles := []int{1, 2, 10, 50}
+	var cells []SweepCell
+	for _, q := range quantiles {
 		cfg := s.config(topo.Iris, 1.4)
 		cfg.PlanOptions.Quantiles = q
 		cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE}
-		rr, err := RunRepeated(cfg, s.Reps)
-		if err != nil {
-			return nil, err
-		}
-		tbl.AddRow(fmt.Sprintf("OLIVE P=%d", q), fmtCI(rr.Balance[core.AlgoOLIVE]))
+		cells = append(cells, SweepCell{Config: cfg, Reps: s.Reps})
 	}
 	cfg := s.config(topo.Iris, 1.4)
 	cfg.Algorithms = []core.Algorithm{core.AlgoQuickG}
-	rr, err := RunRepeated(cfg, s.Reps)
+	cells = append(cells, SweepCell{Config: cfg, Reps: s.Reps})
+	results, err := s.sweep(cells)
 	if err != nil {
 		return nil, err
 	}
-	tbl.AddRow("QUICKG", fmtCI(rr.Balance[core.AlgoQuickG]))
+	for i, q := range quantiles {
+		tbl.AddRow(fmt.Sprintf("OLIVE P=%d", q), fmtCI(results[i].Balance[core.AlgoOLIVE]))
+	}
+	tbl.AddRow("QUICKG", fmtCI(results[len(quantiles)].Balance[core.AlgoQuickG]))
 	return tbl, nil
 }
 
@@ -260,10 +280,13 @@ func Fig11(s Scale) (*Table, error) {
 func Fig12(s Scale) (*Table, error) {
 	cfg := s.config(topo.Iris, 1.0)
 	cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE}
-	rr, err := Run(cfg)
-	if err != nil {
-		return nil, err
-	}
+	return runTableCell("fig12", cfg, s.Runner, func(rr *RunResult) (*Table, error) {
+		return fig12Table(cfg, rr)
+	})
+}
+
+// fig12Table derives the Franklin-node breakdown from one OLIVE run.
+func fig12Table(cfg Config, rr *RunResult) (*Table, error) {
 	franklin, ok := topo.FindNode(rr.Substrate, "Franklin")
 	if !ok {
 		return nil, fmt.Errorf("sim: Iris lacks a Franklin node")
@@ -330,24 +353,27 @@ func Fig13(s Scale) (*Table, error) {
 		Title:  "Fig. 13: effect of deviation from plan, Iris @140%",
 		Header: []string{"variant", "rejection"},
 	}
-	for _, pu := range []float64{0.6, 1.0, 1.4} {
+	planUtils := []float64{0.6, 1.0, 1.4}
+	var cells []SweepCell
+	for _, pu := range planUtils {
 		cfg := s.config(topo.Iris, 1.4)
 		cfg.PlanUtilization = pu
 		cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE}
-		rr, err := RunRepeated(cfg, s.Reps)
-		if err != nil {
-			return nil, err
-		}
-		tbl.AddRow(fmt.Sprintf("OLIVE (plan @%.0f%%)", pu*100), fmtCI(rr.Rejection[core.AlgoOLIVE]))
+		cells = append(cells, SweepCell{Config: cfg, Reps: s.Reps})
 	}
 	cfg := s.config(topo.Iris, 1.4)
 	cfg.Algorithms = []core.Algorithm{core.AlgoQuickG, core.AlgoSlotOff}
-	rr, err := RunRepeated(cfg, s.Reps)
+	cells = append(cells, SweepCell{Config: cfg, Reps: s.Reps})
+	results, err := s.sweep(cells)
 	if err != nil {
 		return nil, err
 	}
-	tbl.AddRow("QUICKG", fmtCI(rr.Rejection[core.AlgoQuickG]))
-	tbl.AddRow("SLOTOFF", fmtCI(rr.Rejection[core.AlgoSlotOff]))
+	for i, pu := range planUtils {
+		tbl.AddRow(fmt.Sprintf("OLIVE (plan @%.0f%%)", pu*100), fmtCI(results[i].Rejection[core.AlgoOLIVE]))
+	}
+	base := results[len(planUtils)]
+	tbl.AddRow("QUICKG", fmtCI(base.Rejection[core.AlgoQuickG]))
+	tbl.AddRow("SLOTOFF", fmtCI(base.Rejection[core.AlgoSlotOff]))
 	return tbl, nil
 }
 
@@ -363,14 +389,19 @@ func Fig14(s Scale) (rejection, cost *Table, err error) {
 		Title:  "Fig. 14b: shifted plan requests, Iris — total cost",
 		Header: []string{"util", "OLIVE(shifted)", "QUICKG"},
 	}
-	for _, u := range s.Utils {
+	cells := make([]SweepCell, len(s.Utils))
+	for i, u := range s.Utils {
 		cfg := s.config(topo.Iris, u)
 		cfg.ShufflePlanIngress = true
 		cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE, core.AlgoQuickG}
-		rr, err := RunRepeated(cfg, s.Reps)
-		if err != nil {
-			return nil, nil, err
-		}
+		cells[i] = SweepCell{Config: cfg, Reps: s.Reps}
+	}
+	results, err := s.sweep(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, u := range s.Utils {
+		rr := results[i]
 		rejection.AddRow(fmt.Sprintf("%.0f%%", u*100),
 			fmtCI(rr.Rejection[core.AlgoOLIVE]), fmtCI(rr.Rejection[core.AlgoQuickG]))
 		cost.AddRow(fmt.Sprintf("%.0f%%", u*100),
@@ -390,13 +421,18 @@ func Fig15(s Scale) (rejection, cost *Table, err error) {
 		Title:  "Fig. 15b: CAIDA-like demand, Iris — total cost",
 		Header: []string{"util", "OLIVE", "QUICKG", "SLOTOFF"},
 	}
-	for _, u := range s.Utils {
+	cells := make([]SweepCell, len(s.Utils))
+	for i, u := range s.Utils {
 		cfg := s.config(topo.Iris, u)
 		cfg.Trace = TraceCAIDA
-		rr, err := RunRepeated(cfg, s.Reps)
-		if err != nil {
-			return nil, nil, err
-		}
+		cells[i] = SweepCell{Config: cfg, Reps: s.Reps}
+	}
+	results, err := s.sweep(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, u := range s.Utils {
+		rr := results[i]
 		rejection.AddRow(fmt.Sprintf("%.0f%%", u*100),
 			fmtCI(rr.Rejection[core.AlgoOLIVE]),
 			fmtCI(rr.Rejection[core.AlgoQuickG]),
@@ -417,16 +453,21 @@ func Fig16a(s Scale, lambdas []float64) (*Table, error) {
 		Title:  "Fig. 16a: runtime vs arrival rate, Iris @100% (seconds)",
 		Header: []string{"λ/node", "req/slot", "OLIVE", "QUICKG"},
 	}
-	for _, l := range lambdas {
+	cells := make([]SweepCell, len(lambdas))
+	for i, l := range lambdas {
 		cfg := s.config(topo.Iris, 1.0)
 		// Utilization stays fixed across the λ sweep: Run's calibration
 		// scales the demand mean with 1/λ (§IV-B "Runtime").
 		cfg.LambdaPerNode = l
 		cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE, core.AlgoQuickG}
-		rr, err := RunRepeated(cfg, minInt(s.Reps, 3))
-		if err != nil {
-			return nil, err
-		}
+		cells[i] = SweepCell{Config: cfg, Reps: minInt(s.Reps, 3)}
+	}
+	results, err := s.sweep(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, l := range lambdas {
+		rr := results[i]
 		edge := len(topo.MustBuild(topo.Iris, 1).EdgeNodes())
 		tbl.AddRow(fmt.Sprintf("%.0f", l),
 			fmt.Sprintf("%.0f", l*float64(edge)),
@@ -443,13 +484,18 @@ func Fig16Runtime(t topo.Name, s Scale) (*Table, error) {
 		Title:  fmt.Sprintf("Fig. 16 (%s): runtime vs utilization (seconds)", t),
 		Header: []string{"util", "OLIVE", "QUICKG"},
 	}
-	for _, u := range s.Utils {
+	cells := make([]SweepCell, len(s.Utils))
+	for i, u := range s.Utils {
 		cfg := s.config(t, u)
 		cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE, core.AlgoQuickG}
-		rr, err := RunRepeated(cfg, minInt(s.Reps, 3))
-		if err != nil {
-			return nil, err
-		}
+		cells[i] = SweepCell{Config: cfg, Reps: minInt(s.Reps, 3)}
+	}
+	results, err := s.sweep(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, u := range s.Utils {
+		rr := results[i]
 		tbl.AddRow(fmt.Sprintf("%.0f%%", u*100),
 			fmtCIg(rr.Runtime[core.AlgoOLIVE]),
 			fmtCIg(rr.Runtime[core.AlgoQuickG]))

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"sort"
 	"time"
 
 	"github.com/olive-vne/olive/internal/core"
@@ -374,11 +375,19 @@ func runAlgorithm(cfg Config, g *graph.Graph, apps []*vnet.App, p *plan.Plan, wp
 			}
 		}
 		eng.StartSlot(t)
+		// Departures in request-ID order: floating-point sums must not
+		// depend on map iteration, or repeated runs drift in the last
+		// ulps and break the runner's byte-identical guarantee.
+		var gone []int
 		for id, lr := range liveReqs {
 			if lr.departs <= t {
-				running -= lr.contrib
-				delete(liveReqs, id)
+				gone = append(gone, id)
 			}
+		}
+		sort.Ints(gone)
+		for _, id := range gone {
+			running -= liveReqs[id].contrib
+			delete(liveReqs, id)
 		}
 		for _, r := range slots[t] {
 			ar.PerSlotRequested[t] += r.Demand
@@ -485,9 +494,16 @@ func finalizeMetrics(cfg Config, g *graph.Graph, apps []*vnet.App, psi []float64
 	if total > 0 {
 		ar.RejectionRate = float64(rejected) / float64(total)
 	}
+	// Canonical node order keeps the balance index bit-stable across
+	// runs (map iteration would reorder the weighted sum).
+	nodes := make([]graph.NodeID, 0, len(perNode))
+	for v := range perNode {
+		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	samples := make([]stats.BalanceSample, 0, len(perNode))
-	for _, bs := range perNode {
-		samples = append(samples, *bs)
+	for _, v := range nodes {
+		samples = append(samples, *perNode[v])
 	}
 	ar.BalanceIndex = stats.BalanceIndex(samples)
 	ar.TotalCost = ar.ResourceCost + ar.RejectionCost
@@ -508,43 +524,20 @@ type RepeatedResult struct {
 }
 
 // RunRepeated executes reps independent runs (seeds Seed, Seed+1, ...) and
-// aggregates the headline metrics with 95% confidence intervals.
+// aggregates the headline metrics with 95% confidence intervals. The runs
+// fan out across GOMAXPROCS workers via the experiment runner; seeding is
+// positional and aggregation order canonical, so the deterministic
+// metrics are identical to a sequential loop. Use RunRepeatedWith to
+// control parallelism, artifact caching and resume.
 func RunRepeated(cfg Config, reps int) (*RepeatedResult, error) {
-	if reps <= 0 {
-		return nil, errors.New("sim: reps must be positive")
+	return RunRepeatedWith(cfg, reps, RunnerOptions{})
+}
+
+// RunRepeatedWith is RunRepeated under explicit runner options.
+func RunRepeatedWith(cfg Config, reps int, opts RunnerOptions) (*RepeatedResult, error) {
+	rs, err := RunSweep([]SweepCell{{Config: cfg, Reps: reps}}, opts)
+	if err != nil {
+		return nil, err
 	}
-	acc := make(map[core.Algorithm]map[string][]float64)
-	for rep := 0; rep < reps; rep++ {
-		c := cfg
-		c.Seed = cfg.Seed + uint64(rep)
-		rr, err := Run(c)
-		if err != nil {
-			return nil, fmt.Errorf("sim: rep %d: %w", rep, err)
-		}
-		for algo, ar := range rr.Results {
-			m := acc[algo]
-			if m == nil {
-				m = map[string][]float64{}
-				acc[algo] = m
-			}
-			m["rej"] = append(m["rej"], ar.RejectionRate)
-			m["cost"] = append(m["cost"], ar.TotalCost)
-			m["bal"] = append(m["bal"], ar.BalanceIndex)
-			m["rt"] = append(m["rt"], ar.Runtime.Seconds())
-		}
-	}
-	out := &RepeatedResult{
-		Config: cfg, Reps: reps,
-		Rejection: map[core.Algorithm]MetricSummary{},
-		Cost:      map[core.Algorithm]MetricSummary{},
-		Balance:   map[core.Algorithm]MetricSummary{},
-		Runtime:   map[core.Algorithm]MetricSummary{},
-	}
-	for algo, m := range acc {
-		out.Rejection[algo] = stats.Summarize(m["rej"])
-		out.Cost[algo] = stats.Summarize(m["cost"])
-		out.Balance[algo] = stats.Summarize(m["bal"])
-		out.Runtime[algo] = stats.Summarize(m["rt"])
-	}
-	return out, nil
+	return rs[0], nil
 }

@@ -32,6 +32,19 @@
 //			_ = out.Accepted
 //		}
 //	}
+//
+// # Parallel experiments
+//
+// Repeated runs and whole sweeps fan out across a deterministic parallel
+// runner: seeds are derived from each cell's identity (never from
+// execution order), aggregation order is canonical, and with an
+// ArtifactStore attached every completed cell is persisted as versioned
+// JSON so interrupted sweeps resume instead of recomputing. RunSimRepeated
+// is parallel out of the box; RunSweep exposes the full machinery:
+//
+//	store, _ := olive.OpenArtifactStore("results")
+//	cells := []olive.SweepCell{{Config: cfg, Reps: 30}}
+//	res, _ := olive.RunSweep(cells, olive.RunnerOptions{Store: store, Resume: true})
 package olive
 
 import (
@@ -43,6 +56,7 @@ import (
 	"github.com/olive-vne/olive/internal/graph"
 	"github.com/olive-vne/olive/internal/persist"
 	"github.com/olive-vne/olive/internal/plan"
+	"github.com/olive-vne/olive/internal/runner"
 	"github.com/olive-vne/olive/internal/sim"
 	"github.com/olive-vne/olive/internal/topo"
 	"github.com/olive-vne/olive/internal/vnet"
@@ -324,6 +338,46 @@ func PaperScale() ExperimentScale { return sim.PaperScale() }
 
 // SmokeScale returns a reduced experiment scale for quick regeneration.
 func SmokeScale() ExperimentScale { return sim.SmokeScale() }
+
+// ---- Parallel experiment runner ----
+
+type (
+	// RunnerOptions configures the parallel experiment runner: worker
+	// count, cancellation context, artifact store and progress
+	// reporting. The zero value runs on GOMAXPROCS workers.
+	RunnerOptions = sim.RunnerOptions
+	// SweepCell is one aggregation unit of a sweep: a configuration
+	// repeated Reps times and summarized with 95% CIs.
+	SweepCell = sim.SweepCell
+	// ArtifactStore persists completed sweep cells as versioned JSON
+	// for resumable sweeps.
+	ArtifactStore = runner.Store
+	// ProgressReporter observes a sweep's per-cell progress.
+	ProgressReporter = runner.Reporter
+)
+
+// OpenArtifactStore opens (creating if needed) an artifact store
+// directory.
+func OpenArtifactStore(dir string) (*ArtifactStore, error) { return runner.OpenStore(dir) }
+
+// NewProgressReporter returns a reporter that prints per-cell progress
+// with a running ETA to w.
+func NewProgressReporter(w io.Writer) ProgressReporter { return runner.NewTextReporter(w) }
+
+// RunSweep fans the cells' repetitions out across the runner's worker
+// pool and returns one aggregated result per cell, in cell order. The
+// deterministic metrics are identical to sequential execution for any
+// worker count: per-cell seeds are positional (Config.Seed + rep) and
+// aggregation order is canonical, not arrival-ordered.
+func RunSweep(cells []SweepCell, opts RunnerOptions) ([]*RepeatedResult, error) {
+	return sim.RunSweep(cells, opts)
+}
+
+// RunSimRepeatedWith is RunSimRepeated under explicit runner options
+// (worker count, artifact store, resume, progress).
+func RunSimRepeatedWith(cfg SimConfig, reps int, opts RunnerOptions) (*RepeatedResult, error) {
+	return sim.RunRepeatedWith(cfg, reps, opts)
+}
 
 // ---- Persistence ----
 
