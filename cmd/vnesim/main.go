@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -50,11 +52,43 @@ func run(args []string) error {
 	out := fs.String("out", "", "artifact directory: persist each completed cell as versioned JSON")
 	resume := fs.Bool("resume", false, "with -out: load cached cell artifacts instead of recomputing them")
 	progress := fs.Bool("progress", false, "report per-cell progress and ETA on stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memprofile := fs.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *resume && *out == "" {
 		return errors.New("-resume requires -out")
+	}
+
+	// Profiling hooks: hot-path work (the online embedding loop, the
+	// substrate-state layer) is measurable on real experiment sweeps, not
+	// only under `go test -bench`. The heap-profile defer is registered
+	// first so that (defers being LIFO) the CPU profile stops before the
+	// forced GC and heap serialization run — they must not pollute it.
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // flush recent frees so the heap profile is settled
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "vnesim: -memprofile:", err)
+			}
+			f.Close()
+		}()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	var scale sim.Scale

@@ -10,12 +10,12 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 
 	"github.com/olive-vne/olive/internal/embedder"
 	"github.com/olive-vne/olive/internal/graph"
 	"github.com/olive-vne/olive/internal/plan"
+	"github.com/olive-vne/olive/internal/substrate"
 	"github.com/olive-vne/olive/internal/vnet"
 	"github.com/olive-vne/olive/internal/workload"
 )
@@ -62,7 +62,9 @@ type Outcome struct {
 	// plan (a "guaranteed" allocation in Fig. 12's terms). Borrowed
 	// (partial-fit) and greedy allocations have Planned == false.
 	Planned bool
-	// Emb is the chosen embedding (nil when rejected).
+	// Emb is the chosen embedding (nil when rejected). It may be shared
+	// — with a plan share, with other requests, or with the embedder's
+	// collocated-candidate memo — and must be treated as immutable.
 	Emb *vnet.Embedding
 	// Preempted lists request IDs preempted to make room.
 	Preempted []int
@@ -70,19 +72,28 @@ type Outcome struct {
 
 // Engine processes online requests against a substrate, optionally guided
 // by a plan (OLIVE) — Algorithm 2 of the paper.
+//
+// All residual and price bookkeeping lives in a substrate.State — the
+// residual vector Res(S,t,x) of Eq. 16, the per-element prices, and the
+// lazy shortest-path cache the embedding oracle queries. Engines built
+// with NewEngineOn share one State (and its warm caches) sequentially;
+// the engine itself holds no private residual copies.
 type Engine struct {
 	g    *graph.Graph
 	apps []*vnet.App
 	opts Options
 
-	res      []float64 // substrate residual, Res(S,t,x) of Eq. 16
+	st       *substrate.State
 	oracle   *embedder.Oracle
-	prices   embedder.Prices
 	shareRes [][]float64 // residual plan per class per share, Eq. 17
 
 	active  map[int]*activeReq
 	depHeap departureHeap
 	now     int
+
+	// Preemption scratch, reused across Process calls.
+	preDeficit map[graph.ElementID]float64
+	preCands   []*activeReq
 }
 
 type activeReq struct {
@@ -112,24 +123,38 @@ func (h *departureHeap) Pop() interface{} {
 	return d
 }
 
-// NewEngine builds an engine over a fresh copy of the substrate's
-// capacities.
+// NewEngine builds an engine over a fresh substrate state (residuals at
+// full capacity, prices = element costs).
 func NewEngine(g *graph.Graph, apps []*vnet.App, opts Options) (*Engine, error) {
-	if g == nil || len(apps) == 0 {
+	if g == nil {
+		return nil, errors.New("core: engine needs a substrate and applications")
+	}
+	return NewEngineOn(embedder.ForState(substrate.New(g)), apps, opts)
+}
+
+// NewEngineOn builds an engine over an existing substrate state, viewed
+// through the given oracle. The state's residual vector is reset to full
+// capacities; its price vector (which must be the element costs for the
+// engine's cost accounting to match the paper) and its warm shortest-path
+// and collocated-embedding caches are kept — back-to-back algorithm runs
+// over one simulation cell share them.
+func NewEngineOn(oracle *embedder.Oracle, apps []*vnet.App, opts Options) (*Engine, error) {
+	if oracle == nil || len(apps) == 0 {
 		return nil, errors.New("core: engine needs a substrate and applications")
 	}
 	if opts.MaxExactRetries == 0 {
 		opts.MaxExactRetries = defaultExactRetries
 	}
+	st := oracle.State()
+	st.ResetResidual()
 	e := &Engine{
-		g:      g,
+		g:      st.Graph(),
 		apps:   apps,
 		opts:   opts,
-		res:    g.Capacities(),
-		prices: embedder.CostPrices(g),
+		st:     st,
+		oracle: oracle,
 		active: make(map[int]*activeReq),
 	}
-	e.oracle = embedder.NewOracle(g, e.prices)
 	if !opts.Plan.Empty() {
 		e.shareRes = make([][]float64, len(opts.Plan.Classes))
 		for i, cp := range opts.Plan.Classes {
@@ -155,8 +180,12 @@ func (e *Engine) Algorithm() Algorithm {
 	}
 }
 
-// Residual returns the substrate residual vector (read-only view).
-func (e *Engine) Residual() []float64 { return e.res }
+// Residual returns a copy of the substrate residual vector. Mutating the
+// returned slice cannot affect engine state; diagnostics may keep it.
+func (e *Engine) Residual() []float64 { return e.st.ResidualSnapshot(nil) }
+
+// State returns the substrate state this engine operates on.
+func (e *Engine) State() *substrate.State { return e.st }
 
 // ActiveCount returns the number of currently embedded requests.
 func (e *Engine) ActiveCount() int { return len(e.active) }
@@ -176,7 +205,7 @@ func (e *Engine) StartSlot(t int) {
 }
 
 func (e *Engine) release(ar *activeReq) {
-	ar.emb.Release(e.res, ar.req.Demand)
+	e.st.Release(ar.emb, ar.req.Demand)
 	if ar.planned {
 		e.shareRes[ar.classIdx][ar.shareIdx] += ar.req.Demand
 	}
@@ -194,13 +223,13 @@ func (e *Engine) Process(r workload.Request) (Outcome, error) {
 
 	emb, planned, classIdx, shareIdx := e.planEmbed(r)
 
-	if planned && !emb.FitsResidual(e.res, r.Demand) {
+	if planned && !e.st.Fits(emb, r.Demand) {
 		// Borrowed capacity blocks a planned allocation: preempt
 		// non-planned requests to free it (Alg. 2 lines 8–9).
 		if !e.opts.DisablePreemption {
 			out.Preempted = e.preempt(emb, r.Demand)
 		}
-		if !emb.FitsResidual(e.res, r.Demand) {
+		if !e.st.Fits(emb, r.Demand) {
 			// Preemption could not clear the way; treat the plan
 			// route as unavailable.
 			emb, planned = nil, false
@@ -212,12 +241,12 @@ func (e *Engine) Process(r workload.Request) (Outcome, error) {
 		planned = false
 	}
 
-	if emb == nil || !emb.FitsResidual(e.res, r.Demand) {
+	if emb == nil || !e.st.Fits(emb, r.Demand) {
 		return out, nil // rejected (Alg. 2 line 15)
 	}
 
 	// ALLOCATE (Alg. 2 lines 18–22).
-	emb.Apply(e.res, r.Demand)
+	e.st.Apply(emb, r.Demand)
 	ar := &activeReq{req: r, emb: emb, planned: planned, classIdx: -1, shareIdx: -1}
 	if planned {
 		ar.classIdx, ar.shareIdx = classIdx, shareIdx
@@ -256,7 +285,7 @@ func (e *Engine) planEmbed(r workload.Request) (emb *vnet.Embedding, planned boo
 		if bestAny < 0 || rs[j] > rs[bestAny] {
 			bestAny = j
 		}
-		if cp.Shares[j].E.FitsResidual(e.res, r.Demand) {
+		if e.st.Fits(cp.Shares[j].E, r.Demand) {
 			if bestFit < 0 || rs[j] > rs[bestFit] {
 				bestFit = j
 			}
@@ -278,7 +307,7 @@ func (e *Engine) planEmbed(r workload.Request) (emb *vnet.Embedding, planned boo
 			if rs[j] <= 0 {
 				continue
 			}
-			if !cp.Shares[j].E.FitsResidual(e.res, r.Demand) {
+			if !e.st.Fits(cp.Shares[j].E, r.Demand) {
 				continue
 			}
 			if best < 0 || rs[j] > rs[best] {
@@ -298,28 +327,34 @@ func (e *Engine) planEmbed(r workload.Request) (emb *vnet.Embedding, planned boo
 // the preempted request IDs (empty if preemption cannot help, in which
 // case nothing is preempted).
 func (e *Engine) preempt(emb *vnet.Embedding, d float64) []int {
-	// Deficit per element.
-	deficit := make(map[graph.ElementID]float64)
+	// Deficit per element, in the engine's reusable scratch map.
+	if e.preDeficit == nil {
+		e.preDeficit = make(map[graph.ElementID]float64)
+	}
+	remaining := e.preDeficit
+	clear(remaining)
+	res := e.st.ResidualVec()
 	for _, u := range emb.UnitUse() {
-		if need := u.Amount*d - e.res[u.Elem]; need > 0 {
-			deficit[u.Elem] = need
+		if need := u.Amount*d - res[u.Elem]; need > 0 {
+			remaining[u.Elem] = need
 		}
 	}
-	if len(deficit) == 0 {
+	if len(remaining) == 0 {
 		return nil
 	}
-	// Candidates: active non-planned allocations (R_DONE \ R_PLAN).
-	cands := make([]*activeReq, 0, 16)
+	// Candidates: active non-planned allocations (R_DONE \ R_PLAN), in
+	// the reusable candidate buffer.
+	cands := e.preCands[:0]
 	for _, ar := range e.active {
 		if !ar.planned {
 			cands = append(cands, ar)
 		}
 	}
+	e.preCands = cands
 	// Deterministic order, then greedy max-relief selection.
 	sort.Slice(cands, func(i, j int) bool { return cands[i].req.ID < cands[j].req.ID })
 
 	var chosen []*activeReq
-	remaining := deficit
 	for len(remaining) > 0 {
 		bestIdx, bestRelief := -1, 0.0
 		for i, ar := range cands {
@@ -341,31 +376,34 @@ func (e *Engine) preempt(emb *vnet.Embedding, d float64) []int {
 			}
 		}
 		if bestIdx < 0 {
+			clear(e.preCands)
 			return nil // preemption cannot clear the deficit
 		}
 		ar := cands[bestIdx]
 		cands[bestIdx] = nil
 		chosen = append(chosen, ar)
-		next := make(map[graph.ElementID]float64, len(remaining))
-		for elem, need := range remaining {
-			var rel float64
-			for _, u := range ar.emb.UnitUse() {
-				if u.Elem == elem {
-					rel = u.Amount * ar.req.Demand
-					break
+		// Subtract the chosen request's relief in place; elements its
+		// embedding does not touch keep their deficit.
+		for _, u := range ar.emb.UnitUse() {
+			if need, ok := remaining[u.Elem]; ok {
+				rel := u.Amount * ar.req.Demand
+				if need > rel {
+					remaining[u.Elem] = need - rel
+				} else {
+					delete(remaining, u.Elem)
 				}
 			}
-			if need > rel {
-				next[elem] = need - rel
-			}
 		}
-		remaining = next
 	}
 	ids := make([]int, 0, len(chosen))
 	for _, ar := range chosen {
 		e.release(ar)
 		ids = append(ids, ar.req.ID)
 	}
+	// Drop the retained pointers: the backing array survives until the
+	// next preemption, and it must not pin released requests (and their
+	// embeddings) in memory meanwhile.
+	clear(e.preCands)
 	return ids
 }
 
@@ -375,7 +413,7 @@ func (e *Engine) preempt(emb *vnet.Embedding, d float64) []int {
 func (e *Engine) greedyEmbed(r workload.Request) *vnet.Embedding {
 	app := e.apps[r.App]
 	if !e.opts.Exact {
-		emb, _, ok := e.oracle.BestCollocated(app, r.Ingress, e.res, r.Demand)
+		emb, _, ok := e.oracle.BestCollocated(app, r.Ingress, e.st.ResidualVec(), r.Demand)
 		if !ok {
 			return nil
 		}
@@ -408,20 +446,18 @@ type bbNode struct {
 // move. Branching on an overloaded link excludes the link wholesale,
 // which approximates path re-routing (DESIGN.md §3). The search budget is
 // Options.MaxExactRetries expansions.
+//
+// Every solve goes through the engine's shared oracle: the unexcluded
+// root relaxation reads the substrate state's warm path cache, and
+// excluded retries borrow pooled substrate views — no per-retry oracle or
+// all-pairs rebuild.
 func (e *Engine) exactEmbed(app *vnet.App, r workload.Request) *vnet.Embedding {
 	solve := func(n *bbNode) bool {
-		prices := e.prices
-		if len(n.elems) > 0 {
-			prices = append(embedder.Prices(nil), e.prices...)
-			for elem := range n.elems {
-				prices[elem] = math.Inf(1)
-			}
-		}
 		var allow embedder.Restriction
 		if len(n.pairs) > 0 {
 			allow = func(v vnet.VNFID, u graph.NodeID) bool { return !n.pairs[vnfNodeBan{v, u}] }
 		}
-		emb, cost, ok := embedder.NewOracle(e.g, prices).MinCostEmbedRestricted(app, r.Ingress, allow)
+		emb, cost, ok := e.oracle.MinCostEmbedExcluded(app, r.Ingress, allow, n.elems)
 		n.emb, n.cost = emb, cost
 		return ok
 	}
@@ -442,13 +478,14 @@ func (e *Engine) exactEmbed(app *vnet.App, r workload.Request) *vnet.Embedding {
 		n := open[best]
 		open = append(open[:best], open[best+1:]...)
 
-		if n.emb.FitsResidual(e.res, r.Demand) {
+		if e.st.Fits(n.emb, r.Demand) {
 			return n.emb
 		}
 		// Branch on the first violated element.
+		res := e.st.ResidualVec()
 		var violated graph.ElementID = -1
 		for _, u := range n.emb.UnitUse() {
-			if u.Amount*r.Demand > e.res[u.Elem] {
+			if u.Amount*r.Demand > res[u.Elem] {
 				violated = u.Elem
 				break
 			}
@@ -540,11 +577,12 @@ func (e *Engine) CheckInvariants() error {
 	for _, ar := range e.active {
 		ar.emb.Apply(recomputed, ar.req.Demand)
 	}
+	res := e.st.ResidualVec()
 	for i := range recomputed {
 		if recomputed[i] < -1e-6 {
 			return fmt.Errorf("core: element %d oversubscribed by %g", i, -recomputed[i])
 		}
-		if diff := recomputed[i] - e.res[i]; diff > 1e-6 || diff < -1e-6 {
+		if diff := recomputed[i] - res[i]; diff > 1e-6 || diff < -1e-6 {
 			return fmt.Errorf("core: element %d residual drift %g", i, diff)
 		}
 	}

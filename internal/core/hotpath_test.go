@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/olive-vne/olive/internal/graph"
+	"github.com/olive-vne/olive/internal/topo"
+	"github.com/olive-vne/olive/internal/vnet"
+)
+
+// TestResidualDefensiveCopy is the regression test for the Residual()
+// aliasing hazard: the returned slice must be a copy, so callers mutating
+// it cannot corrupt the engine's residual bookkeeping.
+func TestResidualDefensiveCopy(t *testing.T) {
+	g := tinySubstrate()
+	app := tinyApp()
+	e, err := NewEngine(g, []*vnet.App{app}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.StartSlot(0)
+	if out, err := e.Process(req(0, 0, 0, 10, 0, 5)); err != nil || !out.Accepted {
+		t.Fatalf("Process = (%+v, %v), want accepted", out, err)
+	}
+
+	res := e.Residual()
+	for i := range res {
+		res[i] = -1e9 // scribble all over the caller's copy
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("mutating Residual()'s return corrupted the engine: %v", err)
+	}
+
+	// The engine still sees its own residual: a second copy is pristine.
+	res2 := e.Residual()
+	for i := range res2 {
+		if res2[i] == -1e9 {
+			t.Fatalf("element %d of a fresh Residual() reflects caller scribbles", i)
+		}
+	}
+	// And the copies are independent of each other.
+	if &res[0] == &res2[0] {
+		t.Fatal("successive Residual() calls alias the same backing array")
+	}
+}
+
+// TestNoAllPairsInPerRequestPath hooks the graph layer's AllPairs counter
+// to verify the substrate-state contract: neither engine construction nor
+// any per-request processing — including FULLG's capacity branch-out
+// retries, which previously rebuilt an all-pairs oracle per retry — ever
+// triggers an eager AllPairsShortestPaths computation.
+func TestNoAllPairsInPerRequestPath(t *testing.T) {
+	g, err := topo.Build(topo.Iris, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := vnet.DefaultMix(vnet.DefaultParams(), testRNG(5))
+
+	before := graph.AllPairsCalls()
+
+	for _, exact := range []bool{false, true} {
+		e, err := NewEngine(g, apps, Options{Exact: exact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges := g.EdgeNodes()
+		id := 0
+		for slot := 0; slot < 6; slot++ {
+			e.StartSlot(slot)
+			for i := 0; i < 40; i++ {
+				// Heavy demand saturates elements and forces the
+				// FULLG branch-out to retry with exclusions.
+				r := req(id, id%len(apps), edges[id%len(edges)], 40, slot, 3)
+				id++
+				if _, err := e.Process(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if after := graph.AllPairsCalls(); after != before {
+		t.Fatalf("per-request path performed %d AllPairsShortestPaths calls; want 0", after-before)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/olive-vne/olive/internal/embedder"
 	"github.com/olive-vne/olive/internal/graph"
 	"github.com/olive-vne/olive/internal/plan"
 	"github.com/olive-vne/olive/internal/vnet"
@@ -21,10 +22,13 @@ type SlotOff struct {
 	g       *graph.Graph
 	apps    []*vnet.App
 	opts    plan.Options
+	solver  *plan.Solver
 	alive   []workload.Request
 	rejects map[int]bool
 	// Alloc maps request ID to its current-slot embedding.
 	Alloc map[int]*vnet.Embedding
+	// resScratch is the per-slot residual snapshot, reused across Steps.
+	resScratch []float64
 }
 
 // SlotOffOptions tunes the per-slot LP. Pricing rounds are kept small:
@@ -37,13 +41,35 @@ func SlotOffOptions() plan.Options {
 	return o
 }
 
-// NewSlotOff builds the baseline.
+// NewSlotOff builds the baseline over a private substrate state.
 func NewSlotOff(g *graph.Graph, apps []*vnet.App, opts plan.Options) (*SlotOff, error) {
 	if g == nil || len(apps) == 0 {
 		return nil, errors.New("core: SLOTOFF needs a substrate and applications")
 	}
+	return newSlotOff(g, apps, opts, plan.NewSolver(g, apps))
+}
+
+// NewSlotOffOn builds the baseline sharing an existing cost-price oracle
+// (and its warm substrate state) for per-slot column seeding — the
+// simulation harness passes each cell's shared oracle. SLOTOFF never
+// mutates the oracle's prices or residuals; it keeps its own residual
+// scratch for rounding.
+func NewSlotOffOn(oracle *embedder.Oracle, apps []*vnet.App, opts plan.Options) (*SlotOff, error) {
+	if oracle == nil || len(apps) == 0 {
+		return nil, errors.New("core: SLOTOFF needs a substrate and applications")
+	}
+	g := oracle.State().Graph()
+	return newSlotOff(g, apps, opts, plan.NewSolverOn(oracle, apps))
+}
+
+func newSlotOff(g *graph.Graph, apps []*vnet.App, opts plan.Options, solver *plan.Solver) (*SlotOff, error) {
 	return &SlotOff{
 		g: g, apps: apps, opts: opts,
+		// One plan solver for the whole run: per-slot re-optimizations
+		// share its warm substrate state (path cache, collocated
+		// candidate memos, pricing buffers) instead of re-deriving
+		// prices from scratch every slot.
+		solver:  solver,
 		rejects: make(map[int]bool),
 		Alloc:   make(map[int]*vnet.Embedding),
 	}, nil
@@ -110,7 +136,7 @@ func (s *SlotOff) Step(t int, arrivals []workload.Request) (SlotResult, error) {
 		}
 		return classes[i].App < classes[j].App
 	})
-	p, err := plan.Build(s.g, s.apps, classes, s.opts)
+	p, err := s.solver.Build(classes, s.opts)
 	if err != nil {
 		return res, fmt.Errorf("core: SLOTOFF slot %d: %w", t, err)
 	}
@@ -126,7 +152,8 @@ func (s *SlotOff) Step(t int, arrivals []workload.Request) (SlotResult, error) {
 	})
 
 	shareRes := make(map[int][]float64)
-	residual := s.g.Capacities()
+	s.resScratch = s.g.CapacitiesInto(s.resScratch)
+	residual := s.resScratch
 	newAlloc := make(map[int]*vnet.Embedding, len(work))
 	var nextAlive []workload.Request
 

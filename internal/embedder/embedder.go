@@ -3,9 +3,9 @@
 // per-element prices.
 //
 // The core routine, MinCostEmbed, is a dynamic program over the VN tree
-// with all-pairs shortest paths on the substrate: for tree-shaped virtual
-// networks it returns the exact cost-minimal mapping (each virtual link's
-// path chosen independently along a shortest path under the given prices).
+// with shortest paths on the substrate: for tree-shaped virtual networks
+// it returns the exact cost-minimal mapping (each virtual link's path
+// chosen independently along a shortest path under the given prices).
 // It is used three ways in the reproduction:
 //
 //   - as the FULLG baseline's per-request exact embedder (paper §IV-A),
@@ -16,12 +16,19 @@
 // Collocated embeddings (all functional VNFs on one node — the restriction
 // QUICKG and OLIVE's GREEDYEMBED use, §III-C) are produced by
 // BestCollocated and CollocatedOnNode.
+//
+// An Oracle is a thin view over a substrate.State: path queries hit the
+// State's lazy per-source Dijkstra cache (no eager all-pairs rebuild),
+// exclusion retries go through pooled substrate Views, DP tables come from
+// the State's scratch arena, and collocated embeddings are memoized per
+// (app, ingress, node) for as long as the State's prices stand still.
 package embedder
 
 import (
 	"math"
 
 	"github.com/olive-vne/olive/internal/graph"
+	"github.com/olive-vne/olive/internal/substrate"
 	"github.com/olive-vne/olive/internal/vnet"
 )
 
@@ -42,34 +49,83 @@ func CostPrices(g *graph.Graph) Prices {
 // capacity-row duals are ≤ 0 at optimality, so congested elements become
 // more expensive. dual is indexed by element.
 func AdjustedPrices(g *graph.Graph, dual []float64) Prices {
-	p := CostPrices(g)
-	for i := range p {
-		p[i] -= dual[i]
-	}
-	return p
+	return AdjustedPricesInto(nil, g, dual)
 }
 
-// Oracle answers min-cost embedding queries for one substrate graph and
-// price vector. Building an Oracle runs one all-pairs shortest path
-// computation; queries reuse it, so batch queries per price vector.
+// AdjustedPricesInto is AdjustedPrices writing into dst (reused when large
+// enough) — the plan's pricing loop calls it once per round.
+func AdjustedPricesInto(dst Prices, g *graph.Graph, dual []float64) Prices {
+	if cap(dst) < g.NumElements() {
+		dst = make(Prices, g.NumElements())
+	}
+	dst = dst[:g.NumElements()]
+	for i := range dst {
+		dst[i] = g.ElementCost(graph.ElementID(i)) - dual[i]
+	}
+	return dst
+}
+
+// pather answers price and shortest-path queries for the embedding DP:
+// either a substrate.State directly (no exclusions, cached trees shared by
+// every query under the same prices) or a substrate.View (exclusion
+// overlay with view-private trees).
+type pather interface {
+	NodePrice(u graph.NodeID) float64
+	Dist(src, dst graph.NodeID) float64
+	DistRow(src graph.NodeID) []float64
+	PathBetween(src, dst graph.NodeID) (graph.Path, bool)
+}
+
+// Oracle answers min-cost embedding queries over one substrate.State.
+// Construction is free — no all-pairs computation; shortest-path trees are
+// built lazily per source inside the State and shared between all oracles
+// and engines viewing it. Not safe for concurrent use (like its State).
 type Oracle struct {
+	st *substrate.State
 	g  *graph.Graph
-	pr Prices
-	ap *graph.AllPairs
-	// nodePrice[u] is the per-CU price of node u (+Inf if excluded).
-	nodePrice []float64
+
+	// colloc memoizes collocated embeddings per (app, ingress, node);
+	// valid while the State's price generation is unchanged.
+	colloc    map[collocKey]collocEntry
+	collocGen uint64
+
+	// Reusable query scratch (outer slices; inner DP rows come from the
+	// State's arena).
+	cands      []scoredNode
+	dpChildren [][]int
+	dpCost     [][]float64
+	dpChoice   [][]graph.NodeID
+	poOrder    []int
 }
 
-// NewOracle prepares an oracle for the given prices.
-func NewOracle(g *graph.Graph, pr Prices) *Oracle {
-	w := func(l graph.Link) float64 { return pr[g.LinkElement(l.ID)] }
-	o := &Oracle{g: g, pr: pr, ap: g.AllPairsShortestPaths(w)}
-	o.nodePrice = make([]float64, g.NumNodes())
-	for i := range o.nodePrice {
-		o.nodePrice[i] = pr[g.NodeElement(graph.NodeID(i))]
-	}
-	return o
+type collocKey struct {
+	app     *vnet.App
+	ingress graph.NodeID
+	u       graph.NodeID
 }
+
+type collocEntry struct {
+	e     *vnet.Embedding
+	price float64
+	ok    bool
+}
+
+// ForState returns an oracle viewing st. Multiple oracles may view one
+// State (sequentially); they share its path cache but not their
+// collocated-embedding memos.
+func ForState(st *substrate.State) *Oracle {
+	return &Oracle{st: st, g: st.Graph(), colloc: make(map[collocKey]collocEntry), collocGen: st.PriceGen()}
+}
+
+// NewOracle prepares an oracle for the given prices over a private
+// substrate.State. Callers that already hold a State should use ForState
+// instead and batch queries per price vector via SetPrices.
+func NewOracle(g *graph.Graph, pr Prices) *Oracle {
+	return ForState(substrate.NewWithPrices(g, pr))
+}
+
+// State returns the substrate state this oracle views.
+func (o *Oracle) State() *substrate.State { return o.st }
 
 // MinCostEmbed returns the cost-minimal embedding of app with θ pinned at
 // ingress, under the oracle's prices, along with its per-unit-demand price
@@ -80,7 +136,7 @@ func NewOracle(g *graph.Graph, pr Prices) *Oracle {
 // given the parent's placement, and each virtual link independently takes
 // a shortest path under the prices.
 func (o *Oracle) MinCostEmbed(app *vnet.App, ingress graph.NodeID) (*vnet.Embedding, float64, bool) {
-	return o.MinCostEmbedRestricted(app, ingress, nil)
+	return o.minCost(o.st, app, ingress, nil)
 }
 
 // Restriction limits which substrate nodes a given VNF may occupy; a nil
@@ -91,54 +147,75 @@ type Restriction func(vnet.VNFID, graph.NodeID) bool
 
 // MinCostEmbedRestricted is MinCostEmbed with per-VNF node restrictions.
 func (o *Oracle) MinCostEmbedRestricted(app *vnet.App, ingress graph.NodeID, allow Restriction) (*vnet.Embedding, float64, bool) {
+	return o.minCost(o.st, app, ingress, allow)
+}
+
+// MinCostEmbedExcluded is MinCostEmbedRestricted with substrate elements
+// excluded wholesale: excluded nodes get +Inf placement price and excluded
+// links +Inf path weight. This is the FULLG capacity branch-out's retry
+// primitive — it reuses pooled exclusion views instead of rebuilding an
+// oracle, so a retry performs no all-pairs computation.
+func (o *Oracle) MinCostEmbedExcluded(app *vnet.App, ingress graph.NodeID, allow Restriction, exclude map[graph.ElementID]bool) (*vnet.Embedding, float64, bool) {
+	if len(exclude) == 0 {
+		return o.minCost(o.st, app, ingress, allow)
+	}
+	v := o.st.AcquireView(exclude)
+	defer v.Close()
+	return o.minCost(v, app, ingress, allow)
+}
+
+// minCost runs the embedding DP against an arbitrary price/path provider.
+func (o *Oracle) minCost(pa pather, app *vnet.App, ingress graph.NodeID, allow Restriction) (*vnet.Embedding, float64, bool) {
 	n := o.g.NumNodes()
 	numVNF := len(app.VNFs)
 
-	children := make([][]int, numVNF) // child link indices per VNF
-	for li, l := range app.Links {
-		children[l.From] = append(children[l.From], li)
-	}
+	arena := o.st.ScratchArena()
+	arena.Reset()
+
+	children := o.childrenOf(app) // child link indices per VNF
 
 	// cost[i][u]: minimal price of the subtree rooted at VNF i when i
 	// sits on node u. choice[li][u]: best child node for link li given
 	// its parent on u.
-	cost := make([][]float64, numVNF)
-	choice := make([][]graph.NodeID, len(app.Links))
+	cost := resizeOuter(&o.dpCost, numVNF)
+	choice := resizeOuter(&o.dpChoice, len(app.Links))
 
-	// Process VNFs in reverse topological order: links are listed
-	// parent-to-child, so children have higher traversal order; a
-	// reverse sweep over VNF indices is not sufficient for trees built
-	// by generators (IDs are BFS-ish but branches interleave), so
-	// compute an explicit post-order over links.
-	order := postOrder(app)
+	// Process VNFs so that every child precedes its parent: links are
+	// listed parent-to-child but branch interleaving means a reverse
+	// index sweep is not sufficient, so compute an explicit post-order.
+	order := o.postOrder(app, children)
 
 	for _, i := range order {
 		v := app.VNFs[i]
-		ci := make([]float64, n)
+		ci := arena.Float64s(n)
 		for u := 0; u < n; u++ {
 			eta := vnet.Eff(v, o.g.Node(graph.NodeID(u)))
-			if math.IsInf(eta, 1) || math.IsInf(o.nodePrice[u], 1) ||
+			if math.IsInf(eta, 1) || math.IsInf(pa.NodePrice(graph.NodeID(u)), 1) ||
 				(allow != nil && v.ID != vnet.Root && !allow(v.ID, graph.NodeID(u))) {
 				ci[u] = math.Inf(1)
 				continue
 			}
-			ci[u] = v.Size * eta * o.nodePrice[u]
+			ci[u] = v.Size * eta * pa.NodePrice(graph.NodeID(u))
 		}
 		for _, li := range children[i] {
 			l := app.Links[li]
 			childCost := cost[l.To]
-			choice[li] = make([]graph.NodeID, n)
+			choice[li] = arena.NodeIDs(n)
 			for u := 0; u < n; u++ {
 				if math.IsInf(ci[u], 1) {
 					continue
 				}
+				// One row fetch per source: the O(n) inner scan
+				// indexes the cached distance row directly instead
+				// of paying an interface call per destination.
+				du := pa.DistRow(graph.NodeID(u))
 				best := math.Inf(1)
 				bestW := graph.NodeID(-1)
 				for w := 0; w < n; w++ {
 					if math.IsInf(childCost[w], 1) {
 						continue
 					}
-					c := l.Size*o.ap.Dist(graph.NodeID(u), graph.NodeID(w)) + childCost[w]
+					c := l.Size*du[w] + childCost[w]
 					if c < best {
 						best, bestW = c, graph.NodeID(w)
 					}
@@ -155,7 +232,8 @@ func (o *Oracle) MinCostEmbedRestricted(app *vnet.App, ingress graph.NodeID, all
 		return nil, 0, false
 	}
 
-	// Reconstruct the mapping top-down.
+	// Reconstruct the mapping top-down. nodeMap and pathMap escape into
+	// the Embedding, so they are real allocations, not arena chunks.
 	nodeMap := make([]graph.NodeID, numVNF)
 	nodeMap[vnet.Root] = ingress
 	pathMap := make([]graph.Path, len(app.Links))
@@ -166,7 +244,7 @@ func (o *Oracle) MinCostEmbedRestricted(app *vnet.App, ingress graph.NodeID, all
 			l := app.Links[li]
 			w := choice[li][u]
 			nodeMap[l.To] = w
-			p, _ := o.ap.Path(u, w)
+			p, _ := pa.PathBetween(u, w)
 			pathMap[li] = p
 			walk(int(l.To))
 		}
@@ -182,48 +260,79 @@ func (o *Oracle) MinCostEmbedRestricted(app *vnet.App, ingress graph.NodeID, all
 	return e, rootCost, true
 }
 
-// postOrder returns VNF indices so that every child precedes its parent.
-func postOrder(app *vnet.App) []int {
-	children := make([][]vnet.VNFID, len(app.VNFs))
-	for _, l := range app.Links {
-		children[l.From] = append(children[l.From], l.To)
+// childrenOf fills the reusable per-VNF child-link index lists.
+func (o *Oracle) childrenOf(app *vnet.App) [][]int {
+	children := resizeOuter(&o.dpChildren, len(app.VNFs))
+	for i := range children {
+		children[i] = children[i][:0]
 	}
-	order := make([]int, 0, len(app.VNFs))
+	for li, l := range app.Links {
+		children[l.From] = append(children[l.From], li)
+	}
+	return children
+}
+
+// postOrder returns VNF indices so that every child precedes its parent,
+// reusing the oracle's order buffer.
+func (o *Oracle) postOrder(app *vnet.App, children [][]int) []int {
+	order := o.poOrder[:0]
 	var visit func(i vnet.VNFID)
 	visit = func(i vnet.VNFID) {
-		for _, c := range children[i] {
-			visit(c)
+		for _, li := range children[i] {
+			visit(app.Links[li].To)
 		}
 		order = append(order, int(i))
 	}
 	visit(vnet.Root)
+	o.poOrder = order
 	return order
+}
+
+// resizeOuter grows (never shrinks) an outer scratch slice to n entries.
+func resizeOuter[T any](s *[]T, n int) []T {
+	if cap(*s) < n {
+		*s = make([]T, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// collocated returns the memoized collocated embedding of app on node u
+// with θ at ingress, building and caching it on first use. Entries are
+// invalidated wholesale when the State's prices change.
+func (o *Oracle) collocated(app *vnet.App, ingress, u graph.NodeID) (*vnet.Embedding, float64, bool) {
+	if gen := o.st.PriceGen(); gen != o.collocGen {
+		clear(o.colloc)
+		o.collocGen = gen
+	}
+	key := collocKey{app, ingress, u}
+	if ent, ok := o.colloc[key]; ok {
+		return ent.e, ent.price, ent.ok
+	}
+	e, price, ok := o.buildCollocated(app, ingress, u)
+	o.colloc[key] = collocEntry{e, price, ok}
+	return e, price, ok
 }
 
 // CollocatedOnNode builds the embedding that places every functional VNF
 // of app on node u, with θ at ingress and every θ-adjacent virtual link
 // routed along the price-shortest ingress→u path. ok is false if u is
-// excluded (price or η) or unreachable.
+// excluded (price or η) or unreachable. Results are memoized per
+// (app, ingress, u) until the State's prices change; callers receive a
+// shared immutable Embedding.
 func (o *Oracle) CollocatedOnNode(app *vnet.App, ingress, u graph.NodeID) (*vnet.Embedding, float64, bool) {
-	if math.IsInf(o.nodePrice[u], 1) {
+	return o.collocated(app, ingress, u)
+}
+
+func (o *Oracle) buildCollocated(app *vnet.App, ingress, u graph.NodeID) (*vnet.Embedding, float64, bool) {
+	price, ok := o.collocPrice(app, ingress, u)
+	if !ok {
 		return nil, 0, false
-	}
-	node := o.g.Node(u)
-	var price float64
-	for _, v := range app.VNFs {
-		eta := vnet.Eff(v, node)
-		if math.IsInf(eta, 1) {
-			return nil, 0, false
-		}
-		price += v.Size * eta * o.nodePrice[u]
 	}
 	var rootPath graph.Path
 	if ingress != u {
-		p, ok := o.ap.Path(ingress, u)
-		if !ok || math.IsInf(p.Cost, 1) {
-			return nil, 0, false
-		}
-		rootPath = p
+		// collocPrice found a finite distance, so the path exists.
+		rootPath, _ = o.st.PathBetween(ingress, u)
 	} else {
 		rootPath = graph.Path{Nodes: []graph.NodeID{u}}
 	}
@@ -236,7 +345,6 @@ func (o *Oracle) CollocatedOnNode(app *vnet.App, ingress, u graph.NodeID) (*vnet
 	for li, l := range app.Links {
 		if l.From == vnet.Root {
 			pathMap[li] = rootPath
-			price += l.Size * rootPath.Cost
 		} else {
 			pathMap[li] = graph.Path{Nodes: []graph.NodeID{u}}
 		}
@@ -246,6 +354,41 @@ func (o *Oracle) CollocatedOnNode(app *vnet.App, ingress, u graph.NodeID) (*vnet
 		return nil, 0, false
 	}
 	return e, price, true
+}
+
+// collocPrice is the single implementation of the collocated price
+// formula: Σ β·η·nodePrice over the VNFs plus Σ β·dist over the
+// θ-adjacent virtual links. ok is false when u is excluded (price or η)
+// or unreachable. buildCollocated and KCheapestCollocated's ranking both
+// read it, so the ranking is bit-identical to the materialized price by
+// construction.
+func (o *Oracle) collocPrice(app *vnet.App, ingress, u graph.NodeID) (float64, bool) {
+	if math.IsInf(o.st.NodePrice(u), 1) {
+		return 0, false
+	}
+	node := o.g.Node(u)
+	var price float64
+	for _, v := range app.VNFs {
+		eta := vnet.Eff(v, node)
+		if math.IsInf(eta, 1) {
+			return 0, false
+		}
+		price += v.Size * eta * o.st.NodePrice(u)
+	}
+	var rootCost float64
+	if ingress != u {
+		d := o.st.Dist(ingress, u)
+		if math.IsInf(d, 1) {
+			return 0, false
+		}
+		rootCost = d
+	}
+	for _, l := range app.Links {
+		if l.From == vnet.Root {
+			price += l.Size * rootCost
+		}
+	}
+	return price, true
 }
 
 // scoredNode pairs a candidate hosting node with its embedding price.
@@ -269,8 +412,10 @@ func sortCands(cs []scoredNode) {
 // (Eq. 18); candidates are scanned in increasing price. ok is false if no
 // feasible collocated embedding exists. Passing a nil res skips
 // feasibility and returns the globally cheapest collocated embedding.
+// The returned Embedding may be memo-shared with other callers and must
+// be treated as immutable.
 func (o *Oracle) BestCollocated(app *vnet.App, ingress graph.NodeID, res []float64, d float64) (*vnet.Embedding, float64, bool) {
-	cands := make([]scoredNode, 0, o.g.NumNodes())
+	cands := o.cands[:0]
 	nodeSize := app.TotalNodeSize()
 	var rootLinkSize float64
 	for _, l := range app.Links {
@@ -279,19 +424,20 @@ func (o *Oracle) BestCollocated(app *vnet.App, ingress graph.NodeID, res []float
 		}
 	}
 	for u := 0; u < o.g.NumNodes(); u++ {
-		if math.IsInf(o.nodePrice[u], 1) {
+		if math.IsInf(o.st.NodePrice(graph.NodeID(u)), 1) {
 			continue
 		}
-		dist := o.ap.Dist(ingress, graph.NodeID(u))
+		dist := o.st.Dist(ingress, graph.NodeID(u))
 		if math.IsInf(dist, 1) {
 			continue
 		}
 		// Price lower bound: exact for the collocated form.
-		cands = append(cands, scoredNode{graph.NodeID(u), nodeSize*o.nodePrice[u] + rootLinkSize*dist})
+		cands = append(cands, scoredNode{graph.NodeID(u), nodeSize*o.st.NodePrice(graph.NodeID(u)) + rootLinkSize*dist})
 	}
 	sortCands(cands)
+	o.cands = cands
 	for _, c := range cands {
-		e, price, ok := o.CollocatedOnNode(app, ingress, c.u)
+		e, price, ok := o.collocated(app, ingress, c.u)
 		if !ok {
 			continue
 		}
@@ -305,21 +451,29 @@ func (o *Oracle) BestCollocated(app *vnet.App, ingress graph.NodeID, res []float
 
 // KCheapestCollocated returns up to k collocated embeddings in increasing
 // price order, ignoring capacities — the initial columns of the plan LP.
+// Candidates are ranked by their exact collocated price (computed without
+// building embeddings); only the k winners are materialized, via the
+// memo.
 func (o *Oracle) KCheapestCollocated(app *vnet.App, ingress graph.NodeID, k int) []*vnet.Embedding {
-	var cands []scoredNode
+	cands := o.cands[:0]
 	for u := 0; u < o.g.NumNodes(); u++ {
-		if _, price, ok := o.CollocatedOnNode(app, ingress, graph.NodeID(u)); ok {
+		if price, ok := o.collocPrice(app, ingress, graph.NodeID(u)); ok {
 			cands = append(cands, scoredNode{graph.NodeID(u), price})
 		}
 	}
 	sortCands(cands)
+	o.cands = cands
 	if len(cands) > k {
 		cands = cands[:k]
 	}
 	out := make([]*vnet.Embedding, 0, len(cands))
 	for _, c := range cands {
-		e, _, _ := o.CollocatedOnNode(app, ingress, c.u)
-		out = append(out, e)
+		// collocPrice mirrors buildCollocated's feasibility exactly, so
+		// ok should always hold here; guard anyway so a future
+		// divergence drops the candidate instead of emitting a nil.
+		if e, _, ok := o.collocated(app, ingress, c.u); ok {
+			out = append(out, e)
+		}
 	}
 	return out
 }
@@ -328,9 +482,5 @@ func (o *Oracle) KCheapestCollocated(app *vnet.App, ingress graph.NodeID, k int)
 // excluded (price +Inf) — the FULLG capacity branch-out uses it to retry
 // around saturated elements. The exclusion set maps element IDs to true.
 func MinCostEmbedExcluding(g *graph.Graph, base Prices, exclude map[graph.ElementID]bool, app *vnet.App, ingress graph.NodeID) (*vnet.Embedding, float64, bool) {
-	pr := append(Prices(nil), base...)
-	for e := range exclude {
-		pr[e] = math.Inf(1)
-	}
-	return NewOracle(g, pr).MinCostEmbed(app, ingress)
+	return NewOracle(g, base).MinCostEmbedExcluded(app, ingress, nil, exclude)
 }

@@ -218,14 +218,25 @@ func (g *Graph) ElementName(e ElementID) string {
 // Capacities returns a fresh vector over the flat element space holding
 // every element's capacity. Upper layers copy this to track residuals.
 func (g *Graph) Capacities() []float64 {
-	caps := make([]float64, g.NumElements())
+	return g.CapacitiesInto(nil)
+}
+
+// CapacitiesInto fills dst with every element's capacity, reusing dst's
+// backing array when it is large enough, and returns the filled vector.
+// Per-slot residual snapshots (SLOTOFF) use it to avoid one allocation per
+// slot.
+func (g *Graph) CapacitiesInto(dst []float64) []float64 {
+	if cap(dst) < g.NumElements() {
+		dst = make([]float64, g.NumElements())
+	}
+	dst = dst[:g.NumElements()]
 	for i, n := range g.nodes {
-		caps[i] = n.Cap
+		dst[i] = n.Cap
 	}
 	for i, l := range g.links {
-		caps[len(g.nodes)+i] = l.Cap
+		dst[len(g.nodes)+i] = l.Cap
 	}
-	return caps
+	return dst
 }
 
 // NodesByTier returns the IDs of all nodes in tier t, in ID order.

@@ -1,10 +1,10 @@
 package graph
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Path is a substrate path: an ordered list of link IDs joining consecutive
@@ -44,18 +44,58 @@ type pqItem struct {
 	dist float64
 }
 
+// priorityQueue is a binary min-heap of pqItems ordered by dist. The sift
+// procedures mirror container/heap exactly (same comparisons, same swap
+// order), so replacing the boxed heap.Interface implementation changed no
+// pop order — ties between equal distances resolve identically, keeping
+// shortest-path trees (and everything derived from them) bit-identical.
+// The concrete element type avoids one interface{} allocation per push
+// and pop, which dominated the allocation profile of hot Dijkstra loops.
 type priorityQueue []pqItem
 
-func (q priorityQueue) Len() int            { return len(q) }
-func (q priorityQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q priorityQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *priorityQueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *priorityQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
+func (q *priorityQueue) push(it pqItem) {
+	*q = append(*q, it)
+	q.up(len(*q) - 1)
+}
+
+func (q *priorityQueue) pop() pqItem {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	q.down(0, n)
+	it := h[n]
+	*q = h[:n]
 	return it
+}
+
+func (q priorityQueue) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(q[j].dist < q[i].dist) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+}
+
+func (q priorityQueue) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && q[j2].dist < q[j1].dist {
+			j = j2
+		}
+		if !(q[j].dist < q[i].dist) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
 }
 
 // ShortestPathTree holds single-source shortest path results.
@@ -67,25 +107,45 @@ type ShortestPathTree struct {
 	// unreachable nodes.
 	prevLink []LinkID
 	g        *Graph
+	// pq retains the priority-queue backing array across DijkstraInto
+	// recomputations of this tree.
+	pq priorityQueue
 }
 
 // Dijkstra computes single-source shortest paths from src under w.
 func (g *Graph) Dijkstra(src NodeID, w WeightFunc) *ShortestPathTree {
+	return g.DijkstraInto(nil, src, w)
+}
+
+// DijkstraInto recomputes single-source shortest paths from src under w,
+// reusing t's internal slices when t is non-nil and sized for this graph.
+// It returns the (possibly reallocated) tree. Repeated queries over
+// changing weights — the substrate layer's lazy path cache and its
+// exclusion views — call this to stay allocation-free after warm-up. The
+// result is identical to a fresh Dijkstra call: the scan order and the
+// tie-breaking of equal-distance pops do not depend on the buffers'
+// previous contents.
+func (g *Graph) DijkstraInto(t *ShortestPathTree, src NodeID, w WeightFunc) *ShortestPathTree {
 	n := len(g.nodes)
-	t := &ShortestPathTree{
-		Source:   src,
-		Dist:     make([]float64, n),
-		prevLink: make([]LinkID, n),
-		g:        g,
+	if t == nil || cap(t.Dist) < n || cap(t.prevLink) < n {
+		t = &ShortestPathTree{
+			Dist:     make([]float64, n),
+			prevLink: make([]LinkID, n),
+		}
 	}
+	t.Source = src
+	t.g = g
+	t.Dist = t.Dist[:n]
+	t.prevLink = t.prevLink[:n]
 	for i := range t.Dist {
 		t.Dist[i] = math.Inf(1)
 		t.prevLink[i] = -1
 	}
 	t.Dist[src] = 0
-	pq := priorityQueue{{node: src, dist: 0}}
-	for pq.Len() > 0 {
-		it := heap.Pop(&pq).(pqItem)
+	pq := t.pq[:0]
+	pq.push(pqItem{node: src, dist: 0})
+	for len(pq) > 0 {
+		it := pq.pop()
 		if it.dist > t.Dist[it.node] {
 			continue // stale entry
 		}
@@ -99,10 +159,11 @@ func (g *Graph) Dijkstra(src NodeID, w WeightFunc) *ShortestPathTree {
 			if d := it.dist + wl; d < t.Dist[m] {
 				t.Dist[m] = d
 				t.prevLink[m] = lid
-				heap.Push(&pq, pqItem{node: m, dist: d})
+				pq.push(pqItem{node: m, dist: d})
 			}
 		}
 	}
+	t.pq = pq
 	return t
 }
 
@@ -147,10 +208,23 @@ type AllPairs struct {
 	g     *Graph
 }
 
+// allPairsCalls counts AllPairsShortestPaths invocations process-wide.
+// Tests use it to assert that the online per-request path never falls back
+// to an eager all-pairs rebuild (the substrate layer's lazy cache contract).
+var allPairsCalls atomic.Uint64
+
+// AllPairsCalls returns the number of AllPairsShortestPaths invocations
+// since process start. Test hook; see internal/core's hot-path regression
+// test.
+func AllPairsCalls() uint64 { return allPairsCalls.Load() }
+
 // AllPairsShortestPaths computes a Dijkstra tree from every node under w.
 // For the topology sizes in the paper (≤100 nodes) this is fast and gives
-// O(1) distance lookups afterwards.
+// O(1) distance lookups afterwards. Online hot paths must not call this —
+// they go through the substrate layer's lazy per-source cache instead; the
+// AllPairsCalls counter enforces that in tests.
 func (g *Graph) AllPairsShortestPaths(w WeightFunc) *AllPairs {
+	allPairsCalls.Add(1)
 	ap := &AllPairs{trees: make([]*ShortestPathTree, len(g.nodes)), g: g}
 	for i := range g.nodes {
 		ap.trees[i] = g.Dijkstra(NodeID(i), w)

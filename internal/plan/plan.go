@@ -21,6 +21,7 @@ import (
 	"github.com/olive-vne/olive/internal/graph"
 	"github.com/olive-vne/olive/internal/lp"
 	"github.com/olive-vne/olive/internal/stats"
+	"github.com/olive-vne/olive/internal/substrate"
 	"github.com/olive-vne/olive/internal/vnet"
 	"github.com/olive-vne/olive/internal/workload"
 )
@@ -261,8 +262,55 @@ func DefaultRejectionFactor(g *graph.Graph, app *vnet.App) float64 {
 	return app.TotalNodeSize()*maxNode + app.TotalLinkSize()*maxLink
 }
 
+// Solver solves PLAN-VNE instances over one substrate and application
+// set, carrying warm substrate state across solves: a cost-price state
+// (whose path cache and collocated-embedding memos the column seeding
+// reuses) and a pricing state whose link weights are re-derived in place
+// each Dantzig–Wolfe round instead of rebuilding an oracle. Repeated
+// solves — SLOTOFF's per-slot re-optimization, windowed plans — should
+// share one Solver. Not safe for concurrent use.
+type Solver struct {
+	g    *graph.Graph
+	apps []*vnet.App
+
+	seedOracle  *embedder.Oracle
+	priceState  *substrate.State
+	priceOracle *embedder.Oracle
+	dualBuf     []float64
+	priceBuf    embedder.Prices
+}
+
+// NewSolver returns a Solver for the given substrate and applications.
+func NewSolver(g *graph.Graph, apps []*vnet.App) *Solver {
+	return NewSolverOn(embedder.ForState(substrate.New(g)), apps)
+}
+
+// NewSolverOn returns a Solver whose column seeding runs over an existing
+// cost-price oracle — e.g. the one a simulation cell's engines already
+// share — so its warm path trees and collocated-candidate memos are
+// reused rather than rebuilt. The oracle's state prices must be the
+// element costs; the solver never modifies them (pricing rounds use a
+// private state).
+func NewSolverOn(seedOracle *embedder.Oracle, apps []*vnet.App) *Solver {
+	g := seedOracle.State().Graph()
+	ps := substrate.New(g)
+	return &Solver{
+		g: g, apps: apps,
+		seedOracle:  seedOracle,
+		priceState:  ps,
+		priceOracle: embedder.ForState(ps),
+	}
+}
+
 // Build solves PLAN-VNE for the given classes and returns the plan.
 func Build(g *graph.Graph, apps []*vnet.App, classes []Class, opts Options) (*Plan, error) {
+	return NewSolver(g, apps).Build(classes, opts)
+}
+
+// Build solves PLAN-VNE for the given classes and returns the plan,
+// reusing the solver's warm substrate state.
+func (s *Solver) Build(classes []Class, opts Options) (*Plan, error) {
+	g, apps := s.g, s.apps
 	if len(classes) == 0 {
 		p := &Plan{}
 		p.buildIndex()
@@ -281,6 +329,7 @@ func Build(g *graph.Graph, apps []*vnet.App, classes []Class, opts Options) (*Pl
 	}
 
 	m := newMaster(g, apps, classes, opts)
+	m.solver = s
 	if err := m.seedColumns(); err != nil {
 		return nil, err
 	}
@@ -327,6 +376,7 @@ type master struct {
 	apps    []*vnet.App
 	classes []Class
 	opts    Options
+	solver  *Solver
 	psi     []float64 // ψ per class
 
 	prob    *lp.Problem
@@ -417,8 +467,11 @@ func embSignature(e *vnet.Embedding) string {
 
 // seedColumns creates the initial candidate columns: the k cheapest
 // collocated embeddings plus the exact min-cost embedding, per class.
+// The solver's cost-price oracle memoizes collocated candidates, so
+// repeated solves over one substrate (SLOTOFF) seed without rebuilding
+// them.
 func (m *master) seedColumns() error {
-	oracle := embedder.NewOracle(m.g, embedder.CostPrices(m.g))
+	oracle := m.solver.seedOracle
 	seeded := 0
 	for ci, c := range m.classes {
 		app := m.apps[c.App]
@@ -441,13 +494,25 @@ func (m *master) seedColumns() error {
 
 // price runs the Dantzig–Wolfe pricing round: for each class, find the
 // min-reduced-cost embedding under dual-adjusted element prices and add it
-// if it improves. Returns the number of columns added.
+// if it improves. Returns the number of columns added. The dual-adjusted
+// prices are written into the solver's pricing state in place; its path
+// cache invalidates (and its tree buffers are reused) only when link
+// duals actually moved.
 func (m *master) price(sol *lp.Solution) int {
-	elemDual := make([]float64, m.g.NumElements())
+	s := m.solver
+	if cap(s.dualBuf) < m.g.NumElements() {
+		s.dualBuf = make([]float64, m.g.NumElements())
+	}
+	elemDual := s.dualBuf[:m.g.NumElements()]
+	for i := range elemDual {
+		elemDual[i] = 0
+	}
 	for e, row := range m.elemRow {
 		elemDual[e] = sol.Dual[row]
 	}
-	oracle := embedder.NewOracle(m.g, embedder.AdjustedPrices(m.g, elemDual))
+	s.priceBuf = embedder.AdjustedPricesInto(s.priceBuf, m.g, elemDual)
+	s.priceState.SetPrices(s.priceBuf)
+	oracle := s.priceOracle
 	const tol = 1e-6
 	added := 0
 	for ci, c := range m.classes {

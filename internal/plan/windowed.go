@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"sort"
 
 	"github.com/olive-vne/olive/internal/graph"
 	"github.com/olive-vne/olive/internal/stats"
@@ -77,12 +78,29 @@ func BuildWindowed(g *graph.Graph, apps []*vnet.App, hist *workload.Trace, perio
 		return nil, err
 	}
 
+	// Consume the rng in canonical class order, not map order: each
+	// class's bootstrap must draw the same stream no matter how the map
+	// iterates, or windowed plans (and everything downstream) vary run
+	// to run — the same hazard Aggregate guards against.
+	keys := make([]classKey, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].app != keys[j].app {
+			return keys[i].app < keys[j].app
+		}
+		return keys[i].ingress < keys[j].ingress
+	})
+
+	solver := NewSolver(g, apps) // shared warm state across all windows
 	wp := &WindowedPlan{Period: period, Plans: make([]*Plan, windows)}
 	for w := 0; w < windows; w++ {
 		lo := w * period / windows
 		hi := (w + 1) * period / windows
 		var classes []Class
-		for key, s := range series {
+		for _, key := range keys {
+			s := series[key]
 			// Collect the slots whose cycle position falls in
 			// window w.
 			var sub []float64
@@ -104,7 +122,7 @@ func BuildWindowed(g *graph.Graph, apps []*vnet.App, hist *workload.Trace, perio
 			classes = append(classes, Class{App: key.app, Ingress: key.ingress, Demand: est.Estimate})
 		}
 		sortClasses(classes)
-		p, err := Build(g, apps, classes, opts)
+		p, err := solver.Build(classes, opts)
 		if err != nil {
 			return nil, fmt.Errorf("plan: window %d: %w", w, err)
 		}

@@ -40,9 +40,12 @@ type SweepCell struct {
 }
 
 // cellSchema versions the cell key and artifact layout; bump it whenever
-// Config or repArtifact changes shape so stale stores miss instead of
-// deserializing garbage.
-const cellSchema = "olive/sim-cell/v1"
+// Config or repArtifact changes shape — or when a code change alters the
+// numbers a given Config produces — so stale stores miss instead of
+// resuming with results the current code would not reproduce. v2:
+// windowed-plan builds became deterministic (canonical rng order), so any
+// v1 artifact from a PlanWindows config is unreproducible.
+const cellSchema = "olive/sim-cell/v2"
 
 // repMetrics is one algorithm's persisted outcome in one rep: exactly the
 // headline metrics RunRepeated aggregates.

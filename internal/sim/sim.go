@@ -14,9 +14,11 @@ import (
 	"time"
 
 	"github.com/olive-vne/olive/internal/core"
+	"github.com/olive-vne/olive/internal/embedder"
 	"github.com/olive-vne/olive/internal/graph"
 	"github.com/olive-vne/olive/internal/plan"
 	"github.com/olive-vne/olive/internal/stats"
+	"github.com/olive-vne/olive/internal/substrate"
 	"github.com/olive-vne/olive/internal/topo"
 	"github.com/olive-vne/olive/internal/vnet"
 	"github.com/olive-vne/olive/internal/workload"
@@ -309,8 +311,14 @@ func Run(cfg Config) (*RunResult, error) {
 		psi[i] = plan.DefaultRejectionFactor(g, a)
 	}
 
+	// One substrate state per simulation cell: the engines of every
+	// algorithm run over it back to back, sharing the lazy shortest-path
+	// cache and the embedder's collocated-candidate memos (prices are the
+	// element costs for all of them); only the residual vector is reset
+	// between runs.
+	oracle := embedder.ForState(substrate.New(g))
 	for _, algo := range cfg.Algorithms {
-		ar, err := runAlgorithm(cfg, g, apps, res.Plan, res.Windowed, psi, online, algo)
+		ar, err := runAlgorithm(cfg, g, apps, oracle, res.Plan, res.Windowed, psi, online, algo)
 		if err != nil {
 			return nil, err
 		}
@@ -320,7 +328,7 @@ func Run(cfg Config) (*RunResult, error) {
 }
 
 // runAlgorithm executes the online phase under one algorithm.
-func runAlgorithm(cfg Config, g *graph.Graph, apps []*vnet.App, p *plan.Plan, wp *plan.WindowedPlan, psi []float64, online *workload.Trace, algo core.Algorithm) (*AlgoResult, error) {
+func runAlgorithm(cfg Config, g *graph.Graph, apps []*vnet.App, oracle *embedder.Oracle, p *plan.Plan, wp *plan.WindowedPlan, psi []float64, online *workload.Trace, algo core.Algorithm) (*AlgoResult, error) {
 	ar := &AlgoResult{
 		Algorithm:        algo,
 		PerSlotRequested: make([]float64, online.Slots),
@@ -330,7 +338,7 @@ func runAlgorithm(cfg Config, g *graph.Graph, apps []*vnet.App, p *plan.Plan, wp
 	slots := online.PerSlot()
 
 	if algo == core.AlgoSlotOff {
-		return ar, runSlotOff(cfg, g, apps, psi, slots, ar)
+		return ar, runSlotOff(cfg, g, apps, oracle, psi, slots, ar)
 	}
 
 	opts := cfg.EngineOptions
@@ -347,7 +355,7 @@ func runAlgorithm(cfg Config, g *graph.Graph, apps []*vnet.App, p *plan.Plan, wp
 	default:
 		return nil, fmt.Errorf("sim: unknown algorithm %q", algo)
 	}
-	eng, err := core.NewEngine(g, apps, opts)
+	eng, err := core.NewEngineOn(oracle, apps, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -425,9 +433,10 @@ func runAlgorithm(cfg Config, g *graph.Graph, apps []*vnet.App, p *plan.Plan, wp
 	return ar, nil
 }
 
-// runSlotOff executes the SLOTOFF baseline.
-func runSlotOff(cfg Config, g *graph.Graph, apps []*vnet.App, psi []float64, slots [][]workload.Request, ar *AlgoResult) error {
-	so, err := core.NewSlotOff(g, apps, core.SlotOffOptions())
+// runSlotOff executes the SLOTOFF baseline over the cell's shared
+// substrate state.
+func runSlotOff(cfg Config, g *graph.Graph, apps []*vnet.App, oracle *embedder.Oracle, psi []float64, slots [][]workload.Request, ar *AlgoResult) error {
+	so, err := core.NewSlotOffOn(oracle, apps, core.SlotOffOptions())
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,57 @@
+package substrate
+
+import "github.com/olive-vne/olive/internal/graph"
+
+// Arena is a bump allocator for short-lived numeric scratch slices. Chunks
+// handed out remain valid until the next Reset; Reset reclaims all chunks
+// at once without freeing the backing arrays, so steady-state use performs
+// no allocations. When a backing array fills up, a larger one is allocated
+// and previously returned chunks stay valid (they keep referencing the old
+// array).
+//
+// The zero value is ready to use. Not safe for concurrent use — an Arena
+// belongs to its State's goroutine.
+type Arena struct {
+	f64  []float64
+	nids []graph.NodeID
+}
+
+// Reset reclaims every chunk handed out since the last Reset.
+func (a *Arena) Reset() {
+	a.f64 = a.f64[:0]
+	a.nids = a.nids[:0]
+}
+
+// Float64s returns an uninitialized chunk of n float64s valid until Reset.
+func (a *Arena) Float64s(n int) []float64 {
+	if cap(a.f64)-len(a.f64) < n {
+		a.f64 = make([]float64, 0, grow(cap(a.f64), n))
+	}
+	s := a.f64[len(a.f64) : len(a.f64)+n]
+	a.f64 = a.f64[:len(a.f64)+n]
+	return s
+}
+
+// NodeIDs returns an uninitialized chunk of n NodeIDs valid until Reset.
+func (a *Arena) NodeIDs(n int) []graph.NodeID {
+	if cap(a.nids)-len(a.nids) < n {
+		a.nids = make([]graph.NodeID, 0, grow(cap(a.nids), n))
+	}
+	s := a.nids[len(a.nids) : len(a.nids)+n]
+	a.nids = a.nids[:len(a.nids)+n]
+	return s
+}
+
+// grow picks a new backing capacity: at least 4× the request (so one DP
+// sweep rarely needs more than one backing array) and at least double the
+// old capacity.
+func grow(old, need int) int {
+	c := 4 * need
+	if 2*old > c {
+		c = 2 * old
+	}
+	if c < 1024 {
+		c = 1024
+	}
+	return c
+}

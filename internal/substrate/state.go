@@ -1,0 +1,337 @@
+// Package substrate is the shared substrate-state layer of the online
+// machinery: one State owns the residual-capacity vector, the per-element
+// price vector, and a query-driven shortest-path cache over the physical
+// graph, so that every layer above (embedder, core engines, SLOTOFF, the
+// simulation driver) reads and mutates one coherent view instead of each
+// cloning vectors and rebuilding all-pairs oracles ad hoc.
+//
+// # Cache invalidation rules
+//
+// The shortest-path cache holds one lazily computed single-source Dijkstra
+// tree per source node, weighted by the current link prices. Invalidation
+// is per element kind:
+//
+//   - Link price changes invalidate the path cache (they change edge
+//     weights). Invalidation is lazy: SetPrice/SetPrices bump the price
+//     epoch and stale trees are recomputed — into their existing buffers —
+//     on the next query.
+//   - Node price changes never touch the path cache: node prices only
+//     enter placement costs, not path weights.
+//   - Residual changes never invalidate anything: prices, not residuals,
+//     define path weights, and feasibility is always evaluated against the
+//     live residual vector.
+//
+// Exclusion queries (FULLG's capacity branch-out retries around saturated
+// elements) go through transient Views: a View overlays an exclusion set
+// (+Inf link weights, +Inf node prices) on the State's prices and keeps
+// its own lazily built trees, pooled and recycled so a retry costs no
+// steady-state allocations.
+//
+// A State is not safe for concurrent use. The parallel experiment runner
+// gives every simulation cell its own State over its own graph; the
+// underlying graph is never mutated through this layer.
+package substrate
+
+import (
+	"math"
+
+	"github.com/olive-vne/olive/internal/graph"
+	"github.com/olive-vne/olive/internal/vnet"
+)
+
+// State is the shared substrate state: residuals, prices and the lazy
+// shortest-path cache for one substrate graph.
+type State struct {
+	g   *graph.Graph
+	res []float64
+
+	prices []float64
+	// nodePrice aliases prices[0:NumNodes] conceptually; kept as a
+	// separate dense slice for branch-free DP reads.
+	nodePrice []float64
+	epoch     uint64
+	priceGen  uint64
+	linkW     graph.WeightFunc
+
+	// trees[src] caches the Dijkstra tree from src under the current
+	// prices; entries with a stale epoch are recomputed in place.
+	trees []cachedTree
+
+	viewPool []*View
+	arena    Arena
+}
+
+type cachedTree struct {
+	t     *graph.ShortestPathTree
+	epoch uint64
+}
+
+// New returns a State over g with the residual vector initialized to the
+// element capacities and prices initialized to the element costs — the
+// configuration every online engine starts from.
+func New(g *graph.Graph) *State {
+	pr := make([]float64, g.NumElements())
+	for i := range pr {
+		pr[i] = g.ElementCost(graph.ElementID(i))
+	}
+	return newState(g, pr)
+}
+
+// NewWithPrices returns a State over g with the given per-element prices
+// (copied) and the residual vector initialized to the element capacities.
+func NewWithPrices(g *graph.Graph, prices []float64) *State {
+	return newState(g, append([]float64(nil), prices...))
+}
+
+func newState(g *graph.Graph, pr []float64) *State {
+	s := &State{
+		g:         g,
+		res:       g.Capacities(),
+		prices:    pr,
+		nodePrice: make([]float64, g.NumNodes()),
+		trees:     make([]cachedTree, g.NumNodes()),
+		epoch:     1,
+	}
+	copy(s.nodePrice, pr[:g.NumNodes()])
+	linkBase := g.NumNodes()
+	s.linkW = func(l graph.Link) float64 { return s.prices[linkBase+int(l.ID)] }
+	return s
+}
+
+// Graph returns the underlying substrate graph (read-only by convention).
+func (s *State) Graph() *graph.Graph { return s.g }
+
+// NumElements returns the size of the flat element space.
+func (s *State) NumElements() int { return len(s.prices) }
+
+// Epoch returns the current price epoch. It advances whenever a link
+// price changes; cached trees from older epochs are recomputed on demand.
+func (s *State) Epoch() uint64 { return s.epoch }
+
+// PriceGen returns a generation counter that advances whenever ANY price
+// (node or link) changes. Layers caching price-derived artifacts beyond
+// path trees — e.g. the embedder's collocated-embedding cache — key their
+// validity on it.
+func (s *State) PriceGen() uint64 { return s.priceGen }
+
+// ---- Prices ----
+
+// Price returns the current per-CU price of element e.
+func (s *State) Price(e graph.ElementID) float64 { return s.prices[e] }
+
+// NodePrice returns the current per-CU price of node u.
+func (s *State) NodePrice(u graph.NodeID) float64 { return s.nodePrice[u] }
+
+// SetPrice overwrites the price of element e. A changed link price bumps
+// the price epoch (lazily invalidating the path cache); node prices never
+// do.
+func (s *State) SetPrice(e graph.ElementID, p float64) {
+	if s.prices[e] == p {
+		return
+	}
+	s.prices[e] = p
+	s.priceGen++
+	if n, ok := s.g.ElementNode(e); ok {
+		s.nodePrice[n] = p
+		return
+	}
+	s.epoch++
+}
+
+// SetPrices replaces the whole price vector (copied). The price epoch is
+// bumped only if some link price actually changed, so re-pricing rounds
+// that leave link weights untouched keep the path cache warm.
+func (s *State) SetPrices(pr []float64) {
+	if len(pr) != len(s.prices) {
+		panic("substrate: SetPrices with wrong-length vector")
+	}
+	changed, linksChanged := false, false
+	for i, p := range pr {
+		if p != s.prices[i] {
+			changed = true
+			if i >= s.g.NumNodes() {
+				linksChanged = true
+				break
+			}
+		}
+	}
+	copy(s.prices, pr)
+	copy(s.nodePrice, pr[:s.g.NumNodes()])
+	if changed {
+		s.priceGen++
+	}
+	if linksChanged {
+		s.epoch++
+	}
+}
+
+// ---- Residuals ----
+
+// Residual returns the residual capacity of element e.
+func (s *State) Residual(e graph.ElementID) float64 { return s.res[e] }
+
+// ResidualSnapshot appends a copy of the residual vector to dst[:0] and
+// returns it. Callers own the copy; mutating it cannot corrupt the State.
+func (s *State) ResidualSnapshot(dst []float64) []float64 {
+	return append(dst[:0], s.res...)
+}
+
+// ResetResidual restores the residual vector to the element capacities,
+// leaving prices and the (price-keyed) path cache untouched — engines run
+// back-to-back over one State share a warm cache.
+func (s *State) ResetResidual() { s.res = s.g.CapacitiesInto(s.res) }
+
+// Fits reports whether demand d of embedding e fits the current residual.
+func (s *State) Fits(e *vnet.Embedding, d float64) bool { return e.FitsResidual(s.res, d) }
+
+// ResidualVec returns the live residual vector for read-only hot-path
+// scans (sparse feasibility checks, preemption deficit computation).
+// Callers must not mutate it — use Apply/Release — and must not retain it
+// past the State's lifetime. The public API never exposes this slice; see
+// Engine.Residual for the defensive-copy boundary.
+func (s *State) ResidualVec() []float64 { return s.res }
+
+// Apply subtracts demand d of embedding e from the residual vector.
+func (s *State) Apply(e *vnet.Embedding, d float64) { e.Apply(s.res, d) }
+
+// Release returns demand d of embedding e to the residual vector.
+func (s *State) Release(e *vnet.Embedding, d float64) { e.Release(s.res, d) }
+
+// ---- Shortest-path cache ----
+
+// Tree returns the shortest-path tree rooted at src under the current
+// prices, computing it on first use (or after a link-price change) and
+// caching it. The returned tree is owned by the State; callers must not
+// retain it across price changes.
+func (s *State) Tree(src graph.NodeID) *graph.ShortestPathTree {
+	ct := &s.trees[src]
+	if ct.t == nil || ct.epoch != s.epoch {
+		ct.t = s.g.DijkstraInto(ct.t, src, s.linkW)
+		ct.epoch = s.epoch
+	}
+	return ct.t
+}
+
+// Dist returns the price-weighted shortest distance from src to dst.
+func (s *State) Dist(src, dst graph.NodeID) float64 { return s.Tree(src).Dist[dst] }
+
+// DistRow returns the full distance row from src — Dist(src, ·) as a
+// slice indexed by destination. Hot loops scanning many destinations per
+// source index the row directly instead of paying a cache-epoch check per
+// lookup. The row is owned by the State's cached tree: read-only, invalid
+// after the next price change.
+func (s *State) DistRow(src graph.NodeID) []float64 { return s.Tree(src).Dist }
+
+// PathBetween returns the price-shortest path from src to dst; ok is
+// false if dst is unreachable under finite link prices. src == dst yields
+// the empty path, mirroring graph.AllPairs.Path.
+func (s *State) PathBetween(src, dst graph.NodeID) (graph.Path, bool) {
+	if src == dst {
+		return graph.Path{Nodes: []graph.NodeID{src}}, true
+	}
+	return s.Tree(src).PathTo(dst)
+}
+
+// ---- Exclusion views ----
+
+// View overlays an exclusion set on a State's prices: excluded links get
+// +Inf path weight, excluded nodes +Inf placement price. Views hold their
+// own lazily built shortest-path trees whose buffers are recycled through
+// the State's pool, so repeated branch-out retries allocate nothing in
+// steady state. Release a View with Close when the query batch is done.
+type View struct {
+	st     *State
+	excl   map[graph.ElementID]bool
+	trees  []viewTree
+	gen    uint64
+	w      graph.WeightFunc
+	pooled bool
+}
+
+type viewTree struct {
+	t   *graph.ShortestPathTree
+	gen uint64
+}
+
+// AcquireView returns a View over the State's prices with the given
+// exclusion set (may be nil or empty — then the view is equivalent to the
+// base State, but still uses view-private trees). The exclusion map is
+// referenced, not copied; callers must not mutate it while the View is in
+// use.
+func (s *State) AcquireView(excl map[graph.ElementID]bool) *View {
+	var v *View
+	if n := len(s.viewPool); n > 0 {
+		v = s.viewPool[n-1]
+		s.viewPool = s.viewPool[:n-1]
+	} else {
+		v = &View{st: s, trees: make([]viewTree, s.g.NumNodes())}
+		linkBase := s.g.NumNodes()
+		v.w = func(l graph.Link) float64 {
+			if v.excl != nil && v.excl[graph.ElementID(linkBase+int(l.ID))] {
+				return math.Inf(1)
+			}
+			return s.prices[linkBase+int(l.ID)]
+		}
+	}
+	v.excl = excl
+	v.gen++
+	v.pooled = false
+	return v
+}
+
+// Close returns the View to its State's pool. The View must not be used
+// afterwards; a double Close panics (it would put the View in the pool
+// twice and silently hand one View to two later acquisitions).
+func (v *View) Close() {
+	if v.pooled {
+		panic("substrate: View closed twice")
+	}
+	v.pooled = true
+	v.excl = nil
+	v.st.viewPool = append(v.st.viewPool, v)
+}
+
+// NodePrice returns the placement price of node u under the view: +Inf if
+// u's element is excluded, the State's node price otherwise.
+func (v *View) NodePrice(u graph.NodeID) float64 {
+	if v.excl != nil && v.excl[v.st.g.NodeElement(u)] {
+		return math.Inf(1)
+	}
+	return v.st.nodePrice[u]
+}
+
+// Tree returns the view's shortest-path tree rooted at src, computing it
+// on first use per acquisition and reusing the tree buffers across
+// acquisitions.
+func (v *View) Tree(src graph.NodeID) *graph.ShortestPathTree {
+	vt := &v.trees[src]
+	if vt.t == nil || vt.gen != v.gen {
+		vt.t = v.st.g.DijkstraInto(vt.t, src, v.w)
+		vt.gen = v.gen
+	}
+	return vt.t
+}
+
+// Dist returns the shortest distance from src to dst avoiding excluded
+// links.
+func (v *View) Dist(src, dst graph.NodeID) float64 { return v.Tree(src).Dist[dst] }
+
+// DistRow returns the view's full distance row from src; read-only,
+// invalid after Close.
+func (v *View) DistRow(src graph.NodeID) []float64 { return v.Tree(src).Dist }
+
+// PathBetween returns the shortest src→dst path avoiding excluded links;
+// ok is false if dst is unreachable. src == dst yields the empty path.
+func (v *View) PathBetween(src, dst graph.NodeID) (graph.Path, bool) {
+	if src == dst {
+		return graph.Path{Nodes: []graph.NodeID{src}}, true
+	}
+	return v.Tree(src).PathTo(dst)
+}
+
+// ---- Scratch arena ----
+
+// ScratchArena returns the State's bump arena for transient per-query
+// scratch (the embedder's DP tables). Callers Reset it at the start of a
+// query and must not retain chunks past the query.
+func (s *State) ScratchArena() *Arena { return &s.arena }

@@ -58,6 +58,7 @@ import (
 	"github.com/olive-vne/olive/internal/plan"
 	"github.com/olive-vne/olive/internal/runner"
 	"github.com/olive-vne/olive/internal/sim"
+	"github.com/olive-vne/olive/internal/substrate"
 	"github.com/olive-vne/olive/internal/topo"
 	"github.com/olive-vne/olive/internal/vnet"
 	"github.com/olive-vne/olive/internal/workload"
@@ -262,7 +263,8 @@ const (
 	SLOTOFF = core.AlgoSlotOff
 )
 
-// NewEngine builds an online embedding engine.
+// NewEngine builds an online embedding engine over a fresh substrate
+// state.
 func NewEngine(g *Substrate, apps []*App, opts EngineOptions) (*Engine, error) {
 	return core.NewEngine(g, apps, opts)
 }
@@ -270,6 +272,37 @@ func NewEngine(g *Substrate, apps []*App, opts EngineOptions) (*Engine, error) {
 // NewSlotOff builds the SLOTOFF baseline.
 func NewSlotOff(g *Substrate, apps []*App) (*SlotOff, error) {
 	return core.NewSlotOff(g, apps, core.SlotOffOptions())
+}
+
+// ---- Substrate state (the shared online hot path) ----
+
+type (
+	// SubstrateState owns the residual vector, per-element prices and
+	// the lazy shortest-path cache one simulation cell's engines share.
+	// See the package doc of internal/substrate for the cache
+	// invalidation rules.
+	SubstrateState = substrate.State
+	// EmbedOracle answers min-cost embedding queries over one
+	// SubstrateState, memoizing collocated candidates.
+	EmbedOracle = embedder.Oracle
+)
+
+// NewSubstrateState returns a substrate state over g: residuals at full
+// capacity, prices initialized to the element costs.
+func NewSubstrateState(g *Substrate) *SubstrateState { return substrate.New(g) }
+
+// NewEmbedOracle returns an embedding oracle viewing st. Oracle
+// construction is free — shortest-path trees are computed lazily per
+// source and cached in the state.
+func NewEmbedOracle(st *SubstrateState) *EmbedOracle { return embedder.ForState(st) }
+
+// NewEngineOn builds an online embedding engine over an existing
+// substrate state (viewed through oracle), resetting its residuals but
+// keeping its warm caches. Engines run back to back over one state share
+// path trees and collocated candidates — the simulation harness does this
+// per cell.
+func NewEngineOn(oracle *EmbedOracle, apps []*App, opts EngineOptions) (*Engine, error) {
+	return core.NewEngineOn(oracle, apps, opts)
 }
 
 // ---- Exact embedding (FULLG's oracle) ----
