@@ -1,19 +1,24 @@
-// Command vnesim regenerates the paper's experiments. Each experiment
-// prints the rows/series the corresponding figure or table reports.
-// Experiment cells (rep × topology × utilization × trace) fan out across
-// a parallel runner; with -out each completed cell is persisted so an
-// interrupted sweep resumes (-resume) instead of recomputing.
+// Command vnesim regenerates the paper's experiments and runs arbitrary
+// user-defined scenarios. Each experiment prints the rows/series the
+// corresponding figure or table reports. Experiment cells (rep × topology
+// × utilization × trace) fan out across a parallel runner; with -out each
+// completed cell is persisted so an interrupted sweep resumes (-resume)
+// instead of recomputing.
 //
 // Usage:
 //
+//	vnesim -list
 //	vnesim -exp fig6 -topo iris -scale smoke
 //	vnesim -exp all -scale smoke -workers 8
 //	vnesim -exp fig16a -scale paper -out results/ -resume -progress
+//	vnesim -scenario myspec.json -scale smoke -out results/ -progress
 //
-// Experiments: table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// fig14 fig15 fig16a fig16 all. Scales: smoke (minutes) and paper
-// (Table III: 30 reps × 6000 slots — hours sequentially; the runner
-// divides that by the worker count).
+// Experiments resolve through the scenario registry (internal/scenario):
+// every figure and table of the paper is a registered declarative spec,
+// and -scenario runs a spec loaded from JSON through the same machinery —
+// see examples/customscenario for a sweep no paper figure expresses.
+// Scales: smoke (minutes) and paper (Table III: 30 reps × 6000 slots —
+// hours sequentially; the runner divides that by the worker count).
 package main
 
 import (
@@ -25,10 +30,12 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"slices"
 	"strconv"
 	"strings"
 
 	"github.com/olive-vne/olive/internal/runner"
+	"github.com/olive-vne/olive/internal/scenario"
 	"github.com/olive-vne/olive/internal/sim"
 	"github.com/olive-vne/olive/internal/topo"
 )
@@ -40,9 +47,19 @@ func main() {
 	}
 }
 
+// expNames are the -exp tokens, in print order for error messages.
+// "fig6+7" (the registered scenario generating both figures from one
+// sweep) is accepted alongside the individual aliases fig6 and fig7.
+var expNames = []string{
+	"all", "table2", "table3", "fig6", "fig7", "fig6+7", "fig8", "fig9",
+	"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16a", "fig16",
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("vnesim", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16a fig16 all")
+	exp := fs.String("exp", "all", "experiment: "+strings.Join(expNames, " "))
+	list := fs.Bool("list", false, "list the registered scenarios with their descriptions and exit")
+	scenarioFile := fs.String("scenario", "", "run a user-defined scenario spec loaded from this JSON file")
 	topoFlag := fs.String("topo", "", "topology for fig6/fig7/fig16 (iris, cittastudi, 5gen, 100n150e); empty = all four")
 	scaleFlag := fs.String("scale", "smoke", "experiment scale: smoke or paper")
 	reps := fs.Int("reps", 0, "override repetition count")
@@ -57,8 +74,18 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *list {
+		w := os.Stdout
+		for _, name := range scenario.Names() {
+			fmt.Fprintf(w, "%-8s %s\n", name, scenario.Describe(name))
+		}
+		return nil
+	}
 	if *resume && *out == "" {
 		return errors.New("-resume requires -out")
+	}
+	if *scenarioFile == "" && !slices.Contains(expNames, *exp) {
+		return fmt.Errorf("unknown experiment %q (valid: %s)", *exp, strings.Join(expNames, ", "))
 	}
 
 	// Profiling hooks: hot-path work (the online embedding loop, the
@@ -98,7 +125,7 @@ func run(args []string) error {
 	case "paper":
 		scale = sim.PaperScale()
 	default:
-		return fmt.Errorf("unknown scale %q", *scaleFlag)
+		return fmt.Errorf("unknown scale %q (valid: smoke, paper)", *scaleFlag)
 	}
 	if *reps > 0 {
 		scale.Reps = *reps
@@ -111,7 +138,7 @@ func run(args []string) error {
 		for _, tok := range strings.Split(*utils, ",") {
 			u, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
 			if err != nil {
-				return fmt.Errorf("bad -utils entry %q: %w", tok, err)
+				return fmt.Errorf("bad -utils entry %q (want comma-separated utilizations, e.g. 0.6,1.0,1.4): %w", tok, err)
 			}
 			scale.Utils = append(scale.Utils, u)
 		}
@@ -141,19 +168,44 @@ func run(args []string) error {
 		scale.Runner.Reporter = runner.NewTextReporter(os.Stderr)
 	}
 
+	// A user-defined scenario runs through the same scale and runner
+	// machinery as the registered experiments: -workers, -out, -resume
+	// and -progress all apply.
+	if *scenarioFile != "" {
+		f, err := os.Open(*scenarioFile)
+		if err != nil {
+			return err
+		}
+		sp, err := scenario.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		tbls, err := sim.RunScenario(sp, scale)
+		if err != nil {
+			return err
+		}
+		for _, t := range tbls {
+			t.Fprint(os.Stdout)
+		}
+		return nil
+	}
+
 	topos := topo.All()
 	if *topoFlag != "" {
 		topos = []topo.Name{topo.Name(*topoFlag)}
 		if _, ok := topo.Specs()[topos[0]]; !ok {
-			return fmt.Errorf("unknown topology %q", *topoFlag)
+			names := make([]string, len(topo.All()))
+			for i, t := range topo.All() {
+				names[i] = string(t)
+			}
+			return fmt.Errorf("unknown topology %q (valid: %s)", *topoFlag, strings.Join(names, ", "))
 		}
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
-	ran := false
 
 	if want("table2") {
-		ran = true
 		t, err := sim.Table2()
 		if err != nil {
 			return err
@@ -161,26 +213,23 @@ func run(args []string) error {
 		t.Fprint(os.Stdout)
 	}
 	if want("table3") {
-		ran = true
 		sim.Table3().Fprint(os.Stdout)
 	}
-	if want("fig6") || want("fig7") {
-		ran = true
+	if want("fig6") || want("fig7") || want("fig6+7") {
 		for _, tn := range topos {
 			rej, cost, err := sim.Fig6And7(tn, scale)
 			if err != nil {
 				return err
 			}
-			if want("fig6") || *exp == "all" {
+			if *exp != "fig7" {
 				rej.Fprint(os.Stdout)
 			}
-			if want("fig7") || *exp == "all" {
+			if *exp != "fig6" {
 				cost.Fprint(os.Stdout)
 			}
 		}
 	}
 	if want("fig8") {
-		ran = true
 		t, err := sim.Fig8(scale)
 		if err != nil {
 			return err
@@ -188,7 +237,6 @@ func run(args []string) error {
 		t.Fprint(os.Stdout)
 	}
 	if want("fig9") {
-		ran = true
 		t, err := sim.Fig9(scale)
 		if err != nil {
 			return err
@@ -196,7 +244,6 @@ func run(args []string) error {
 		t.Fprint(os.Stdout)
 	}
 	if want("fig10") {
-		ran = true
 		t, err := sim.Fig10(scale)
 		if err != nil {
 			return err
@@ -204,7 +251,6 @@ func run(args []string) error {
 		t.Fprint(os.Stdout)
 	}
 	if want("fig11") {
-		ran = true
 		t, err := sim.Fig11(scale)
 		if err != nil {
 			return err
@@ -212,7 +258,6 @@ func run(args []string) error {
 		t.Fprint(os.Stdout)
 	}
 	if want("fig12") {
-		ran = true
 		t, err := sim.Fig12(scale)
 		if err != nil {
 			return err
@@ -220,7 +265,6 @@ func run(args []string) error {
 		t.Fprint(os.Stdout)
 	}
 	if want("fig13") {
-		ran = true
 		t, err := sim.Fig13(scale)
 		if err != nil {
 			return err
@@ -228,7 +272,6 @@ func run(args []string) error {
 		t.Fprint(os.Stdout)
 	}
 	if want("fig14") {
-		ran = true
 		rej, cost, err := sim.Fig14(scale)
 		if err != nil {
 			return err
@@ -237,7 +280,6 @@ func run(args []string) error {
 		cost.Fprint(os.Stdout)
 	}
 	if want("fig15") {
-		ran = true
 		rej, cost, err := sim.Fig15(scale)
 		if err != nil {
 			return err
@@ -246,7 +288,6 @@ func run(args []string) error {
 		cost.Fprint(os.Stdout)
 	}
 	if want("fig16a") {
-		ran = true
 		lambdas := []float64{2, 4, 8}
 		if *scaleFlag == "paper" {
 			lambdas = []float64{5, 10, 20, 40}
@@ -258,7 +299,6 @@ func run(args []string) error {
 		t.Fprint(os.Stdout)
 	}
 	if want("fig16") {
-		ran = true
 		for _, tn := range topos {
 			t, err := sim.Fig16Runtime(tn, scale)
 			if err != nil {
@@ -266,9 +306,6 @@ func run(args []string) error {
 			}
 			t.Fprint(os.Stdout)
 		}
-	}
-	if !ran {
-		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -15,21 +16,94 @@ func TestRunTables(t *testing.T) {
 	}
 }
 
-func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-exp", "nonsense"}); err == nil {
-		t.Error("unknown experiment accepted")
+func TestRunRejectsBadFlagsNamingValidOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // every rejection names the valid options
+	}{
+		{"unknown experiment", []string{"-exp", "nonsense"}, "fig16a"},
+		{"unknown scale", []string{"-scale", "nonsense"}, "smoke, paper"},
+		{"unknown topology", []string{"-exp", "fig6", "-topo", "nonsense"}, "iris, cittastudi, 5gen, 100n150e"},
+		{"bad utils", []string{"-exp", "fig6", "-utils", "abc"}, "0.6,1.0,1.4"},
+		{"resume without out", []string{"-exp", "fig6", "-resume"}, "-out"},
 	}
-	if err := run([]string{"-scale", "nonsense"}); err == nil {
-		t.Error("unknown scale accepted")
+	for _, tc := range cases {
+		err := run(tc.args)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name the valid options (%q)", tc.name, err, tc.want)
+		}
 	}
-	if err := run([]string{"-exp", "fig6", "-topo", "nonsense"}); err == nil {
-		t.Error("unknown topology accepted")
+}
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
 	}
-	if err := run([]string{"-exp", "fig6", "-utils", "abc"}); err == nil {
-		t.Error("bad utils accepted")
+}
+
+// microSpec is a tiny custom scenario exercising -scenario end to end:
+// a 2×1 grid with trace lengths overridden in the spec itself so the
+// test stays fast at any -scale.
+const microSpec = `{
+  "name": "micro-grid",
+  "description": "test grid",
+  "base": {"histSlots": 80, "onlineSlots": 30, "lambdaPerNode": 2,
+           "measureFrom": 4, "measureTo": 26,
+           "algorithms": ["OLIVE", "QUICKG"]},
+  "axes": [
+    {"name": "topology", "values": [
+      {"label": "iris", "patch": {"topology": "iris"}},
+      {"label": "cittastudi", "patch": {"topology": "cittastudi"}}
+    ]}
+  ],
+  "reports": [{
+    "title": "micro",
+    "rowHeader": "topology",
+    "columns": [{"header": "OLIVE", "metric": "rejection", "algo": "OLIVE"}]
+  }]
+}`
+
+func TestRunCustomScenarioWithResume(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(spec, []byte(microSpec), 0o644); err != nil {
+		t.Fatal(err)
 	}
-	if err := run([]string{"-exp", "fig6", "-resume"}); err == nil {
-		t.Error("-resume without -out accepted")
+	store := filepath.Join(dir, "arts")
+	args := []string{"-scenario", spec, "-reps", "1", "-out", store}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	artifacts := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".json" {
+			artifacts++
+		}
+	}
+	if artifacts != 2 {
+		t.Fatalf("custom scenario persisted %d artifacts, want 2", artifacts)
+	}
+	if err := run(append(args, "-resume")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing scenario file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", bad}); err == nil {
+		t.Error("invalid spec accepted")
 	}
 }
 

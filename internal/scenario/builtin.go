@@ -1,0 +1,247 @@
+package scenario
+
+import "fmt"
+
+// Built-in scenarios: every figure and table of the paper's evaluation
+// (§IV), expressed as data. The thin sim.Fig*/Table* wrappers load these
+// specs (parameterizing topology or λ values where the original functions
+// took arguments) and render them through sim.RunScenario; `vnesim -exp`
+// resolves experiment names to these entries, and `vnesim -list` prints
+// their descriptions.
+
+// Algorithm names as they appear in Patch.Algorithms and Column.Algo.
+// They mirror internal/core's Algorithm constants; internal/sim validates
+// them at binding time.
+const (
+	AlgoOLIVE   = "OLIVE"
+	AlgoQuickG  = "QUICKG"
+	AlgoFullG   = "FULLG"
+	AlgoSlotOff = "SLOTOFF"
+)
+
+func fp(v float64) *float64 { return &v }
+func ip(v int) *int         { return &v }
+func bp(v bool) *bool       { return &v }
+
+// ciCols builds one fixed-algorithm column per algorithm for a metric.
+func ciCols(metric string, algos ...string) []Column {
+	cols := make([]Column, len(algos))
+	for i, a := range algos {
+		cols[i] = Column{Header: a, Metric: metric, Algo: a}
+	}
+	return cols
+}
+
+func init() {
+	mustRegister(&Spec{
+		Name:        "table2",
+		Description: "Table II: topology inventory (nodes, links, tiers)",
+		Static:      "topologies",
+	})
+	mustRegister(&Spec{
+		Name:        "table3",
+		Description: "Table III: experimental settings as realized by this reproduction",
+		Static:      "settings",
+	})
+
+	mustRegister(&Spec{
+		Name:        "fig6+7",
+		Description: "Figs. 6/7: rejection rate and total cost vs utilization (OLIVE, QUICKG, SLOTOFF)",
+		Axes:        []Axis{{Name: "util", ScaleUtils: true}},
+		Reports: []Report{
+			{
+				Title:     "Fig. 6 ({topo}): rejection rate vs utilization",
+				RowHeader: "util",
+				Columns:   ciCols(MetricRejection, AlgoOLIVE, AlgoQuickG, AlgoSlotOff),
+			},
+			{
+				Title:     "Fig. 7 ({topo}): total cost vs utilization",
+				RowHeader: "util",
+				Columns:   ciCols(MetricCost, AlgoOLIVE, AlgoQuickG, AlgoSlotOff),
+			},
+		},
+	})
+
+	mustRegister(&Spec{
+		Name:        "fig8",
+		Description: "Fig. 8: burst zoom — per-slot requested vs allocated demand, Iris @140%",
+		Base:        Patch{Utilization: fp(1.4)},
+		Detail: &Detail{
+			View:     "slot-demand",
+			Title:    "Fig. 8: allocated demand per slot, Iris @140%, slots {slots} (demand ÷100)",
+			ZoomFrom: 200,
+			ZoomLen:  30,
+		},
+	})
+
+	mustRegister(&Spec{
+		Name:        "fig9",
+		Description: "Fig. 9: rejection rate by application type (chain, tree, accelerator, mix), Iris @100%",
+		Base:        Patch{Algorithms: []string{AlgoOLIVE, AlgoQuickG, AlgoFullG, AlgoSlotOff}},
+		Axes: []Axis{{
+			Name: "apps",
+			Values: []AxisValue{
+				{Label: "Chain", Patch: Patch{AppKind: "chain"}},
+				{Label: "Tree", Patch: Patch{AppKind: "tree"}},
+				{Label: "Acc", Patch: Patch{AppKind: "accelerator"}},
+				{Label: "Mix", Patch: Patch{}},
+			},
+		}},
+		Reports: []Report{{
+			Title:     "Fig. 9: rejection rate by application type, Iris @100%",
+			RowHeader: "apps",
+			Columns:   ciCols(MetricRejection, AlgoOLIVE, AlgoQuickG, AlgoFullG, AlgoSlotOff),
+		}},
+	})
+
+	mustRegister(&Spec{
+		Name:        "fig10",
+		Description: "Fig. 10: GPU scenario — GPU/non-GPU datacenter split, GPU-chain applications",
+		Base: Patch{
+			GPU:        bp(true),
+			Algorithms: []string{AlgoOLIVE, AlgoFullG, AlgoSlotOff},
+		},
+		Reports: []Report{{
+			Title:     "Fig. 10: GPU scenario rejection rate, Iris @100%",
+			RowHeader: "algorithm",
+			Columns:   []Column{{Header: "rejection", Metric: MetricRejection}},
+		}},
+	})
+
+	fig11Values := make([]AxisValue, 0, 5)
+	for _, q := range []int{1, 2, 10, 50} {
+		fig11Values = append(fig11Values, AxisValue{
+			Label: fmt.Sprintf("OLIVE P=%d", q),
+			Patch: Patch{Quantiles: ip(q), Algorithms: []string{AlgoOLIVE}},
+		})
+	}
+	fig11Values = append(fig11Values, AxisValue{
+		Label: "QUICKG",
+		Patch: Patch{Algorithms: []string{AlgoQuickG}},
+	})
+	mustRegister(&Spec{
+		Name:        "fig11",
+		Description: "Fig. 11: rejection balance index vs quantile count (OLIVE P=1,2,10,50; QUICKG), Iris @140%",
+		Base:        Patch{Utilization: fp(1.4)},
+		Axes:        []Axis{{Name: "variant", Values: fig11Values}},
+		Reports: []Report{{
+			Title:     "Fig. 11: rejection balance index by quantiles, Iris @140%",
+			RowHeader: "variant",
+			Columns:   []Column{{Header: "balance index", Metric: MetricBalance}},
+		}},
+	})
+
+	mustRegister(&Spec{
+		Name:        "fig12",
+		Description: "Fig. 12: Franklin edge node — OLIVE guaranteed demand vs actual allocation, Iris @100%",
+		Base:        Patch{Algorithms: []string{AlgoOLIVE}},
+		Detail: &Detail{
+			View:  "node-breakdown",
+			Title: "Fig. 12: Franklin node (Iris, MMPP) — OLIVE guaranteed demand vs actual allocation",
+			Node:  "Franklin",
+		},
+	})
+
+	mustRegister(&Spec{
+		Name:        "fig13",
+		Description: "Fig. 13: plan-deviation stressor — plans built for 60/100/140% demand, run @140%",
+		Base:        Patch{Utilization: fp(1.4)},
+		Axes: []Axis{{
+			Name: "variant",
+			Values: []AxisValue{
+				{Label: "OLIVE (plan @60%)", Patch: Patch{PlanUtilization: fp(0.6), Algorithms: []string{AlgoOLIVE}}},
+				{Label: "OLIVE (plan @100%)", Patch: Patch{PlanUtilization: fp(1.0), Algorithms: []string{AlgoOLIVE}}},
+				{Label: "OLIVE (plan @140%)", Patch: Patch{PlanUtilization: fp(1.4), Algorithms: []string{AlgoOLIVE}}},
+				{Label: "", Patch: Patch{Algorithms: []string{AlgoQuickG, AlgoSlotOff}}},
+			},
+		}},
+		Reports: []Report{{
+			Title:     "Fig. 13: effect of deviation from plan, Iris @140%",
+			RowHeader: "variant",
+			Columns:   []Column{{Header: "rejection", Metric: MetricRejection}},
+		}},
+	})
+
+	mustRegister(&Spec{
+		Name:        "fig14",
+		Description: "Fig. 14: spatial stressor — plan built from ingress-shuffled history",
+		Base: Patch{
+			ShufflePlanIngress: bp(true),
+			Algorithms:         []string{AlgoOLIVE, AlgoQuickG},
+		},
+		Axes: []Axis{{Name: "util", ScaleUtils: true}},
+		Reports: []Report{
+			{
+				Title:     "Fig. 14a: shifted plan requests, Iris — rejection rate",
+				RowHeader: "util",
+				Columns: []Column{
+					{Header: "OLIVE(shifted)", Metric: MetricRejection, Algo: AlgoOLIVE},
+					{Header: "QUICKG", Metric: MetricRejection, Algo: AlgoQuickG},
+				},
+			},
+			{
+				Title:     "Fig. 14b: shifted plan requests, Iris — total cost",
+				RowHeader: "util",
+				Columns: []Column{
+					{Header: "OLIVE(shifted)", Metric: MetricCost, Algo: AlgoOLIVE},
+					{Header: "QUICKG", Metric: MetricCost, Algo: AlgoQuickG},
+				},
+			},
+		},
+	})
+
+	mustRegister(&Spec{
+		Name:        "fig15",
+		Description: "Fig. 15: CAIDA-like heavy-tailed trace — rejection rate and total cost, Iris",
+		Base:        Patch{Trace: "caida"},
+		Axes:        []Axis{{Name: "util", ScaleUtils: true}},
+		Reports: []Report{
+			{
+				Title:     "Fig. 15a: CAIDA-like demand, Iris — rejection rate",
+				RowHeader: "util",
+				Columns:   ciCols(MetricRejection, AlgoOLIVE, AlgoQuickG, AlgoSlotOff),
+			},
+			{
+				Title:     "Fig. 15b: CAIDA-like demand, Iris — total cost",
+				RowHeader: "util",
+				Columns:   ciCols(MetricCost, AlgoOLIVE, AlgoQuickG, AlgoSlotOff),
+			},
+		},
+	})
+
+	mustRegister(&Spec{
+		Name:        "fig16a",
+		Description: "Fig. 16a: runtime vs arrival rate (demand scaled to hold utilization), Iris @100%",
+		Base:        Patch{Algorithms: []string{AlgoOLIVE, AlgoQuickG}},
+		MaxReps:     3,
+		Axes: []Axis{{
+			Name:   "λ/node",
+			Values: LambdaValues([]float64{5, 10, 20, 40}),
+		}},
+		Reports: []Report{{
+			Title:     "Fig. 16a: runtime vs arrival rate, Iris @100% (seconds)",
+			RowHeader: "λ/node",
+			Columns: []Column{
+				{Header: "req/slot", Metric: MetricReqPerSlot},
+				{Header: "OLIVE", Metric: MetricRuntime, Algo: AlgoOLIVE},
+				{Header: "QUICKG", Metric: MetricRuntime, Algo: AlgoQuickG},
+			},
+		}},
+	})
+
+	mustRegister(&Spec{
+		Name:        "fig16",
+		Description: "Figs. 16b–e: runtime vs utilization per topology (OLIVE vs QUICKG)",
+		Base:        Patch{Algorithms: []string{AlgoOLIVE, AlgoQuickG}},
+		MaxReps:     3,
+		Axes:        []Axis{{Name: "util", ScaleUtils: true}},
+		Reports: []Report{{
+			Title:     "Fig. 16 ({topo}): runtime vs utilization (seconds)",
+			RowHeader: "util",
+			Columns: []Column{
+				{Header: "OLIVE", Metric: MetricRuntime, Algo: AlgoOLIVE},
+				{Header: "QUICKG", Metric: MetricRuntime, Algo: AlgoQuickG},
+			},
+		}},
+	})
+}

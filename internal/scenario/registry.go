@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps scenario names to their specs. Built-in specs (every
+// paper figure and table) register at init; user code may register more
+// through Register. Lookup returns deep copies, so callers can
+// parameterize a spec (set its topology, replace an axis) without
+// mutating the registered original.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Spec{}
+)
+
+// Register validates sp and adds it to the registry. Registering a name
+// twice is an error — scenario names key artifact stores, so silent
+// replacement would let two different grids share a name.
+func Register(sp *Spec) error {
+	if err := sp.Validate(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[sp.Name]; dup {
+		return fmt.Errorf("scenario: %q already registered", sp.Name)
+	}
+	registry[sp.Name] = sp.Clone()
+	return nil
+}
+
+// mustRegister registers a built-in spec, panicking on conflict or
+// invalidity (a programming error in builtin.go).
+func mustRegister(sp *Spec) {
+	if err := Register(sp); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns a deep copy of the named spec.
+func Lookup(name string) (*Spec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	sp, ok := registry[name]
+	if !ok {
+		return nil, false
+	}
+	return sp.Clone(), true
+}
+
+// MustLookup is Lookup for names known to be registered (the built-ins).
+func MustLookup(name string) *Spec {
+	sp, ok := Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("scenario: %q not registered", name))
+	}
+	return sp
+}
+
+// Names lists the registered scenario names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns the one-line description of a registered scenario.
+func Describe(name string) string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if sp, ok := registry[name]; ok {
+		return sp.Description
+	}
+	return ""
+}

@@ -5,10 +5,8 @@ import (
 	"io"
 	"strings"
 
-	"github.com/olive-vne/olive/internal/core"
-	"github.com/olive-vne/olive/internal/plan"
+	"github.com/olive-vne/olive/internal/scenario"
 	"github.com/olive-vne/olive/internal/topo"
-	"github.com/olive-vne/olive/internal/vnet"
 )
 
 // Table is a printable experiment result: the rows/series a paper figure
@@ -116,161 +114,59 @@ func fmtCIg(m MetricSummary) string {
 	return fmt.Sprintf("%.3g±%.2g", m.Mean, m.Hi-m.Mean)
 }
 
+// The paper's figures and tables are registered as declarative scenarios
+// (internal/scenario, builtin.go); the generators below are thin wrappers
+// that load a registered spec — parameterizing it where the original
+// function took arguments — and render it through RunScenario. Arbitrary
+// further scenarios run through the same machinery: `vnesim -scenario`.
+
+// firstTable unwraps a single-report scenario result.
+func firstTable(tbls []*Table, err error) (*Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return tbls[0], nil
+}
+
 // Fig6And7 regenerates Fig. 6 (rejection rate vs utilization) and Fig. 7
 // (total cost) for one topology: OLIVE vs QUICKG vs SLOTOFF over the
 // utilization sweep.
 func Fig6And7(t topo.Name, s Scale) (rejection, cost *Table, err error) {
-	rejection = &Table{
-		Title:  fmt.Sprintf("Fig. 6 (%s): rejection rate vs utilization", t),
-		Header: []string{"util", "OLIVE", "QUICKG", "SLOTOFF"},
-	}
-	cost = &Table{
-		Title:  fmt.Sprintf("Fig. 7 (%s): total cost vs utilization", t),
-		Header: []string{"util", "OLIVE", "QUICKG", "SLOTOFF"},
-	}
-	cells := make([]SweepCell, len(s.Utils))
-	for i, u := range s.Utils {
-		cells[i] = SweepCell{Config: s.config(t, u), Reps: s.Reps}
-	}
-	results, err := s.sweep(cells)
+	sp := scenario.MustLookup("fig6+7")
+	sp.Base.Topology = string(t)
+	tbls, err := RunScenario(sp, s)
 	if err != nil {
 		return nil, nil, err
 	}
-	for i, u := range s.Utils {
-		rr := results[i]
-		rejection.AddRow(fmt.Sprintf("%.0f%%", u*100),
-			fmtCI(rr.Rejection[core.AlgoOLIVE]),
-			fmtCI(rr.Rejection[core.AlgoQuickG]),
-			fmtCI(rr.Rejection[core.AlgoSlotOff]))
-		cost.AddRow(fmt.Sprintf("%.0f%%", u*100),
-			fmtCIg(rr.Cost[core.AlgoOLIVE]),
-			fmtCIg(rr.Cost[core.AlgoQuickG]),
-			fmtCIg(rr.Cost[core.AlgoSlotOff]))
-	}
-	return rejection, cost, nil
+	return tbls[0], tbls[1], nil
 }
 
 // Fig8 regenerates the burst zoom (Fig. 8): per-slot requested vs
 // allocated demand on Iris at 140% utilization over a 30-slot window
 // (slots 200–230 at paper scale; scaled proportionally otherwise).
 func Fig8(s Scale) (*Table, error) {
-	cfg := s.config(topo.Iris, 1.4)
-	return runTableCell("fig8", cfg, s.Runner, func(rr *RunResult) (*Table, error) {
-		from := 200
-		if cfg.OnlineSlots < 230 {
-			from = cfg.OnlineSlots / 3
-		}
-		to := from + 30
-		if to > cfg.OnlineSlots {
-			to = cfg.OnlineSlots
-		}
-		tbl := &Table{
-			Title:  fmt.Sprintf("Fig. 8: allocated demand per slot, Iris @140%%, slots %d-%d (demand ÷100)", from, to),
-			Header: []string{"slot", "requested", "OLIVE", "QUICKG", "SLOTOFF"},
-		}
-		olive := rr.Results[core.AlgoOLIVE]
-		quick := rr.Results[core.AlgoQuickG]
-		slot := rr.Results[core.AlgoSlotOff]
-		for t := from; t < to; t++ {
-			tbl.AddRow(fmt.Sprintf("%d", t),
-				fmt.Sprintf("%.1f", olive.PerSlotRequested[t]/100),
-				fmt.Sprintf("%.1f", olive.PerSlotAccepted[t]/100),
-				fmt.Sprintf("%.1f", quick.PerSlotAccepted[t]/100),
-				fmt.Sprintf("%.1f", slot.PerSlotAccepted[t]/100))
-		}
-		return tbl, nil
-	})
+	return firstTable(RunScenario(scenario.MustLookup("fig8"), s))
 }
 
 // Fig9 regenerates the application-type sensitivity (Fig. 9): rejection
 // rate on Iris at 100% utilization with uniform app sets (chain, tree,
 // accelerator) and the default mix, for QUICKG, FULLG, OLIVE and SLOTOFF.
 func Fig9(s Scale) (*Table, error) {
-	tbl := &Table{
-		Title:  "Fig. 9: rejection rate by application type, Iris @100%",
-		Header: []string{"apps", "OLIVE", "QUICKG", "FULLG", "SLOTOFF"},
-	}
-	cases := []struct {
-		label string
-		kind  vnet.Kind
-	}{
-		{"Chain", vnet.KindChain},
-		{"Tree", vnet.KindTree},
-		{"Acc", vnet.KindAccelerator},
-		{"Mix", 0},
-	}
-	cells := make([]SweepCell, len(cases))
-	for i, c := range cases {
-		cfg := s.config(topo.Iris, 1.0)
-		cfg.AppKind = c.kind
-		cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE, core.AlgoQuickG, core.AlgoFullG, core.AlgoSlotOff}
-		cells[i] = SweepCell{Config: cfg, Reps: s.Reps}
-	}
-	results, err := s.sweep(cells)
-	if err != nil {
-		return nil, err
-	}
-	for i, c := range cases {
-		rr := results[i]
-		tbl.AddRow(c.label,
-			fmtCI(rr.Rejection[core.AlgoOLIVE]),
-			fmtCI(rr.Rejection[core.AlgoQuickG]),
-			fmtCI(rr.Rejection[core.AlgoFullG]),
-			fmtCI(rr.Rejection[core.AlgoSlotOff]))
-	}
-	return tbl, nil
+	return firstTable(RunScenario(scenario.MustLookup("fig9"), s))
 }
 
 // Fig10 regenerates the GPU scenario (Fig. 10): Iris split into GPU and
 // non-GPU datacenters, four GPU-chain applications, FULLG vs OLIVE vs
 // SLOTOFF (QUICKG cannot run: collocation is impossible for GPU chains).
 func Fig10(s Scale) (*Table, error) {
-	cfg := s.config(topo.Iris, 1.0)
-	cfg.GPU = true
-	cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE, core.AlgoFullG, core.AlgoSlotOff}
-	results, err := s.sweep([]SweepCell{{Config: cfg, Reps: s.Reps}})
-	if err != nil {
-		return nil, err
-	}
-	rr := results[0]
-	tbl := &Table{
-		Title:  "Fig. 10: GPU scenario rejection rate, Iris @100%",
-		Header: []string{"algorithm", "rejection"},
-	}
-	tbl.AddRow("OLIVE", fmtCI(rr.Rejection[core.AlgoOLIVE]))
-	tbl.AddRow("FULLG", fmtCI(rr.Rejection[core.AlgoFullG]))
-	tbl.AddRow("SLOTOFF", fmtCI(rr.Rejection[core.AlgoSlotOff]))
-	return tbl, nil
+	return firstTable(RunScenario(scenario.MustLookup("fig10"), s))
 }
 
 // Fig11 regenerates the balance-index ablation (Fig. 11): the rejection
 // balance index (Eq. 20) of OLIVE with 1, 2, 10 and 50 quantiles, and of
 // QUICKG, on Iris at 140% utilization.
 func Fig11(s Scale) (*Table, error) {
-	tbl := &Table{
-		Title:  "Fig. 11: rejection balance index by quantiles, Iris @140%",
-		Header: []string{"variant", "balance index"},
-	}
-	quantiles := []int{1, 2, 10, 50}
-	var cells []SweepCell
-	for _, q := range quantiles {
-		cfg := s.config(topo.Iris, 1.4)
-		cfg.PlanOptions.Quantiles = q
-		cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE}
-		cells = append(cells, SweepCell{Config: cfg, Reps: s.Reps})
-	}
-	cfg := s.config(topo.Iris, 1.4)
-	cfg.Algorithms = []core.Algorithm{core.AlgoQuickG}
-	cells = append(cells, SweepCell{Config: cfg, Reps: s.Reps})
-	results, err := s.sweep(cells)
-	if err != nil {
-		return nil, err
-	}
-	for i, q := range quantiles {
-		tbl.AddRow(fmt.Sprintf("OLIVE P=%d", q), fmtCI(results[i].Balance[core.AlgoOLIVE]))
-	}
-	tbl.AddRow("QUICKG", fmtCI(results[len(quantiles)].Balance[core.AlgoQuickG]))
-	return tbl, nil
+	return firstTable(RunScenario(scenario.MustLookup("fig11"), s))
 }
 
 // Fig12 regenerates the per-node allocation detail (Fig. 12): OLIVE on
@@ -278,275 +174,68 @@ func Fig11(s Scale) (*Table, error) {
 // guaranteed (planned) demand threshold and the classification of its
 // requests into guaranteed / borrowed / preempted / rejected.
 func Fig12(s Scale) (*Table, error) {
-	cfg := s.config(topo.Iris, 1.0)
-	cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE}
-	return runTableCell("fig12", cfg, s.Runner, func(rr *RunResult) (*Table, error) {
-		return fig12Table(cfg, rr)
-	})
-}
-
-// fig12Table derives the Franklin-node breakdown from one OLIVE run.
-func fig12Table(cfg Config, rr *RunResult) (*Table, error) {
-	franklin, ok := topo.FindNode(rr.Substrate, "Franklin")
-	if !ok {
-		return nil, fmt.Errorf("sim: Iris lacks a Franklin node")
-	}
-	ar := rr.Results[core.AlgoOLIVE]
-	tbl := &Table{
-		Title:  "Fig. 12: Franklin node (Iris, MMPP) — OLIVE guaranteed demand vs actual allocation",
-		Header: []string{"app", "guaranteed demand", "peak active demand", "guaranteed", "borrowed", "preempted", "rejected"},
-	}
-	for appIdx, app := range rr.Apps {
-		var guar float64
-		if cp := rr.Plan.Lookup(appIdx, franklin); cp != nil {
-			guar = cp.PlannedDemand()
-		}
-		active := make([]float64, cfg.OnlineSlots+1)
-		var nGuar, nBorrow, nPreempt, nRej int
-		for _, rec := range ar.Log {
-			if rec.Ingress != franklin || rec.App != appIdx {
-				continue
-			}
-			switch {
-			case !rec.Accepted:
-				nRej++
-			case rec.Preempted:
-				nPreempt++
-			case rec.Planned:
-				nGuar++
-			default:
-				nBorrow++
-			}
-			if rec.Accepted {
-				end := rec.Arrive + rec.Duration
-				if rec.Preempted && rec.PreemptSlot < end {
-					end = rec.PreemptSlot
-				}
-				if end > cfg.OnlineSlots {
-					end = cfg.OnlineSlots
-				}
-				for t := rec.Arrive; t < end; t++ {
-					active[t] += rec.Demand
-				}
-			}
-		}
-		peak := 0.0
-		for _, v := range active {
-			if v > peak {
-				peak = v
-			}
-		}
-		tbl.AddRow(app.Name,
-			fmt.Sprintf("%.0f", guar),
-			fmt.Sprintf("%.0f", peak),
-			fmt.Sprintf("%d", nGuar), fmt.Sprintf("%d", nBorrow),
-			fmt.Sprintf("%d", nPreempt), fmt.Sprintf("%d", nRej))
-	}
-	return tbl, nil
+	return firstTable(RunScenario(scenario.MustLookup("fig12"), s))
 }
 
 // Fig13 regenerates the plan-deviation stressor (Fig. 13): OLIVE running
 // at 140% utilization with plans built for 60%, 100% and 140% expected
 // demand, with QUICKG and SLOTOFF for reference.
 func Fig13(s Scale) (*Table, error) {
-	tbl := &Table{
-		Title:  "Fig. 13: effect of deviation from plan, Iris @140%",
-		Header: []string{"variant", "rejection"},
-	}
-	planUtils := []float64{0.6, 1.0, 1.4}
-	var cells []SweepCell
-	for _, pu := range planUtils {
-		cfg := s.config(topo.Iris, 1.4)
-		cfg.PlanUtilization = pu
-		cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE}
-		cells = append(cells, SweepCell{Config: cfg, Reps: s.Reps})
-	}
-	cfg := s.config(topo.Iris, 1.4)
-	cfg.Algorithms = []core.Algorithm{core.AlgoQuickG, core.AlgoSlotOff}
-	cells = append(cells, SweepCell{Config: cfg, Reps: s.Reps})
-	results, err := s.sweep(cells)
-	if err != nil {
-		return nil, err
-	}
-	for i, pu := range planUtils {
-		tbl.AddRow(fmt.Sprintf("OLIVE (plan @%.0f%%)", pu*100), fmtCI(results[i].Rejection[core.AlgoOLIVE]))
-	}
-	base := results[len(planUtils)]
-	tbl.AddRow("QUICKG", fmtCI(base.Rejection[core.AlgoQuickG]))
-	tbl.AddRow("SLOTOFF", fmtCI(base.Rejection[core.AlgoSlotOff]))
-	return tbl, nil
+	return firstTable(RunScenario(scenario.MustLookup("fig13"), s))
 }
 
 // Fig14 regenerates the spatial-distribution stressor (Fig. 14): the plan
 // is built from a history whose ingress nodes were shuffled; OLIVE must
 // still beat QUICKG on rejection with comparable cost.
 func Fig14(s Scale) (rejection, cost *Table, err error) {
-	rejection = &Table{
-		Title:  "Fig. 14a: shifted plan requests, Iris — rejection rate",
-		Header: []string{"util", "OLIVE(shifted)", "QUICKG"},
-	}
-	cost = &Table{
-		Title:  "Fig. 14b: shifted plan requests, Iris — total cost",
-		Header: []string{"util", "OLIVE(shifted)", "QUICKG"},
-	}
-	cells := make([]SweepCell, len(s.Utils))
-	for i, u := range s.Utils {
-		cfg := s.config(topo.Iris, u)
-		cfg.ShufflePlanIngress = true
-		cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE, core.AlgoQuickG}
-		cells[i] = SweepCell{Config: cfg, Reps: s.Reps}
-	}
-	results, err := s.sweep(cells)
+	tbls, err := RunScenario(scenario.MustLookup("fig14"), s)
 	if err != nil {
 		return nil, nil, err
 	}
-	for i, u := range s.Utils {
-		rr := results[i]
-		rejection.AddRow(fmt.Sprintf("%.0f%%", u*100),
-			fmtCI(rr.Rejection[core.AlgoOLIVE]), fmtCI(rr.Rejection[core.AlgoQuickG]))
-		cost.AddRow(fmt.Sprintf("%.0f%%", u*100),
-			fmtCIg(rr.Cost[core.AlgoOLIVE]), fmtCIg(rr.Cost[core.AlgoQuickG]))
-	}
-	return rejection, cost, nil
+	return tbls[0], tbls[1], nil
 }
 
 // Fig15 regenerates the CAIDA-trace experiment (Fig. 15): rejection and
 // cost on Iris under the heavy-tailed trace substitute.
 func Fig15(s Scale) (rejection, cost *Table, err error) {
-	rejection = &Table{
-		Title:  "Fig. 15a: CAIDA-like demand, Iris — rejection rate",
-		Header: []string{"util", "OLIVE", "QUICKG", "SLOTOFF"},
-	}
-	cost = &Table{
-		Title:  "Fig. 15b: CAIDA-like demand, Iris — total cost",
-		Header: []string{"util", "OLIVE", "QUICKG", "SLOTOFF"},
-	}
-	cells := make([]SweepCell, len(s.Utils))
-	for i, u := range s.Utils {
-		cfg := s.config(topo.Iris, u)
-		cfg.Trace = TraceCAIDA
-		cells[i] = SweepCell{Config: cfg, Reps: s.Reps}
-	}
-	results, err := s.sweep(cells)
+	tbls, err := RunScenario(scenario.MustLookup("fig15"), s)
 	if err != nil {
 		return nil, nil, err
 	}
-	for i, u := range s.Utils {
-		rr := results[i]
-		rejection.AddRow(fmt.Sprintf("%.0f%%", u*100),
-			fmtCI(rr.Rejection[core.AlgoOLIVE]),
-			fmtCI(rr.Rejection[core.AlgoQuickG]),
-			fmtCI(rr.Rejection[core.AlgoSlotOff]))
-		cost.AddRow(fmt.Sprintf("%.0f%%", u*100),
-			fmtCIg(rr.Cost[core.AlgoOLIVE]),
-			fmtCIg(rr.Cost[core.AlgoQuickG]),
-			fmtCIg(rr.Cost[core.AlgoSlotOff]))
-	}
-	return rejection, cost, nil
+	return tbls[0], tbls[1], nil
 }
 
 // Fig16a regenerates the arrival-rate runtime scaling (Fig. 16a): OLIVE
 // and QUICKG runtime on Iris at 100% utilization while the arrival rate
-// grows (request size scaled down to keep utilization constant).
+// grows. Utilization stays fixed across the λ sweep: Run's calibration
+// scales the demand mean with 1/λ (§IV-B "Runtime").
 func Fig16a(s Scale, lambdas []float64) (*Table, error) {
-	tbl := &Table{
-		Title:  "Fig. 16a: runtime vs arrival rate, Iris @100% (seconds)",
-		Header: []string{"λ/node", "req/slot", "OLIVE", "QUICKG"},
-	}
-	cells := make([]SweepCell, len(lambdas))
-	for i, l := range lambdas {
-		cfg := s.config(topo.Iris, 1.0)
-		// Utilization stays fixed across the λ sweep: Run's calibration
-		// scales the demand mean with 1/λ (§IV-B "Runtime").
-		cfg.LambdaPerNode = l
-		cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE, core.AlgoQuickG}
-		cells[i] = SweepCell{Config: cfg, Reps: minInt(s.Reps, 3)}
-	}
-	results, err := s.sweep(cells)
-	if err != nil {
-		return nil, err
-	}
-	for i, l := range lambdas {
-		rr := results[i]
-		edge := len(topo.MustBuild(topo.Iris, 1).EdgeNodes())
-		tbl.AddRow(fmt.Sprintf("%.0f", l),
-			fmt.Sprintf("%.0f", l*float64(edge)),
-			fmtCIg(rr.Runtime[core.AlgoOLIVE]),
-			fmtCIg(rr.Runtime[core.AlgoQuickG]))
-	}
-	return tbl, nil
+	sp := scenario.MustLookup("fig16a")
+	sp.Axes[0].Values = scenario.LambdaValues(lambdas)
+	return firstTable(RunScenario(sp, s))
 }
 
 // Fig16Runtime regenerates Figs. 16b–e: OLIVE vs QUICKG runtime per
 // topology across the utilization sweep.
 func Fig16Runtime(t topo.Name, s Scale) (*Table, error) {
-	tbl := &Table{
-		Title:  fmt.Sprintf("Fig. 16 (%s): runtime vs utilization (seconds)", t),
-		Header: []string{"util", "OLIVE", "QUICKG"},
-	}
-	cells := make([]SweepCell, len(s.Utils))
-	for i, u := range s.Utils {
-		cfg := s.config(t, u)
-		cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE, core.AlgoQuickG}
-		cells[i] = SweepCell{Config: cfg, Reps: minInt(s.Reps, 3)}
-	}
-	results, err := s.sweep(cells)
-	if err != nil {
-		return nil, err
-	}
-	for i, u := range s.Utils {
-		rr := results[i]
-		tbl.AddRow(fmt.Sprintf("%.0f%%", u*100),
-			fmtCIg(rr.Runtime[core.AlgoOLIVE]),
-			fmtCIg(rr.Runtime[core.AlgoQuickG]))
-	}
-	return tbl, nil
+	sp := scenario.MustLookup("fig16")
+	sp.Base.Topology = string(t)
+	return firstTable(RunScenario(sp, s))
 }
 
 // Table2 regenerates Table II: the topology inventory.
 func Table2() (*Table, error) {
-	tbl := &Table{
-		Title:  "Table II: topologies",
-		Header: []string{"topology", "nodes", "links", "edge/transport/core", "description"},
-	}
-	specs := topo.Specs()
-	for _, name := range topo.All() {
-		sp := specs[name]
-		g, err := topo.Build(name, 1)
-		if err != nil {
-			return nil, err
-		}
-		tbl.AddRow(string(name),
-			fmt.Sprintf("%d", g.NumNodes()), fmt.Sprintf("%d", g.NumLinks()),
-			fmt.Sprintf("%d/%d/%d", sp.EdgeN, sp.TransportN, sp.CoreN),
-			sp.Description)
-	}
-	return tbl, nil
+	return firstTable(RunScenario(scenario.MustLookup("table2"), Scale{}))
 }
 
 // Table3 echoes the experimental settings (Table III) as realized by this
 // reproduction.
 func Table3() *Table {
-	tbl := &Table{
-		Title:  "Table III: experimental settings",
-		Header: []string{"parameter", "value"},
+	tbls, err := RunScenario(scenario.MustLookup("table3"), Scale{})
+	if err != nil {
+		// The registered spec names a known static table; rendering it
+		// cannot fail.
+		panic(err)
 	}
-	tbl.AddRow("Node popularity", "Zipf(α=1)")
-	tbl.AddRow("Plan period", "5400 slots")
-	tbl.AddRow("Test period", "600 slots")
-	tbl.AddRow("Request size", "N(10, 2²), mean scaled 6–14 with utilization")
-	tbl.AddRow("Request duration", "Exponential, mean 10")
-	tbl.AddRow("Requests per node (λ)", "10 per slot")
-	tbl.AddRow("Applications", "2 chain, 1 tree, 1 accelerator")
-	tbl.AddRow("VNFs", "U(3,5)")
-	tbl.AddRow("Element sizes", "N(50, 30²)")
-	tbl.AddRow("Rejection quantiles", fmt.Sprintf("%d", plan.DefaultOptions().Quantiles))
-	return tbl
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	return tbls[0]
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 
 	"github.com/olive-vne/olive/internal/core"
 	"github.com/olive-vne/olive/internal/runner"
@@ -37,6 +38,11 @@ type RunnerOptions struct {
 type SweepCell struct {
 	Config Config
 	Reps   int
+	// Tag, when set, namespaces the cell's artifacts (scenario runs pass
+	// scenario.Spec.Tag(): name@spechash). Cells from different scenarios
+	// never share artifacts even when their configurations coincide, and
+	// editing a spec invalidates its cached cells.
+	Tag string
 }
 
 // cellSchema versions the cell key and artifact layout; bump it whenever
@@ -44,8 +50,10 @@ type SweepCell struct {
 // numbers a given Config produces — so stale stores miss instead of
 // resuming with results the current code would not reproduce. v2:
 // windowed-plan builds became deterministic (canonical rng order), so any
-// v1 artifact from a PlanWindows config is unreproducible.
-const cellSchema = "olive/sim-cell/v2"
+// v1 artifact from a PlanWindows config is unreproducible. v3: the key
+// gained a scenario tag slot (name@spechash), ending cross-experiment
+// collisions in shared -out directories.
+const cellSchema = "olive/sim-cell/v3"
 
 // repMetrics is one algorithm's persisted outcome in one rep: exactly the
 // headline metrics RunRepeated aggregates.
@@ -64,12 +72,13 @@ type repArtifact struct {
 	Metrics    map[core.Algorithm]repMetrics `json:"metrics"`
 }
 
-// cellKey canonically encodes one rep's complete configuration. Identical
-// configurations share artifacts across sweeps and processes; any config
-// change yields a new key — a recompute, never a stale hit. The seed is
-// part of the key, so a cell's identity is positional (cfg.Seed + rep),
-// independent of execution order.
-func cellKey(cfg Config, rep int) (string, error) {
+// cellKey canonically encodes one rep's complete configuration plus the
+// scenario tag it runs under. Identical cells of the same scenario share
+// artifacts across sweeps and processes; any config or spec change yields
+// a new key — a recompute, never a stale hit. The seed is part of the
+// key, so a cell's identity is positional (cfg.Seed + rep), independent
+// of execution order.
+func cellKey(cfg Config, rep int, tag string) (string, error) {
 	c := cfg
 	c.normalize()
 	c.Seed = cfg.Seed + uint64(rep)
@@ -78,15 +87,20 @@ func cellKey(cfg Config, rep int) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("sim: cell key: %w", err)
 	}
-	return cellSchema + "|" + string(b), nil
+	return cellSchema + "|" + tag + "|" + string(b), nil
 }
 
 // cellLabel is the short display name of one rep for progress lines and
-// errors; the full identity lives in the cell key.
-func cellLabel(cfg Config) string {
+// errors; the full identity lives in the cell key. A scenario tag
+// contributes its name (the hash stays in the key).
+func cellLabel(cfg Config, tag string) string {
 	c := cfg
 	c.normalize()
-	return fmt.Sprintf("%s u=%g λ=%g %s seed=%d", c.Topology, c.Utilization, c.LambdaPerNode, c.Trace, c.Seed)
+	label := fmt.Sprintf("%s u=%g λ=%g %s seed=%d", c.Topology, c.Utilization, c.LambdaPerNode, c.Trace, c.Seed)
+	if name, _, ok := strings.Cut(tag, "@"); ok && name != "" {
+		label = name + " " + label
+	}
+	return label
 }
 
 // artifactOf extracts the persisted metrics from one run.
@@ -121,7 +135,7 @@ func RunSweep(cells []SweepCell, opts RunnerOptions) ([]*RepeatedResult, error) 
 			return nil, errors.New("sim: reps must be positive")
 		}
 		for rep := 0; rep < cell.Reps; rep++ {
-			key, err := cellKey(cell.Config, rep)
+			key, err := cellKey(cell.Config, rep, cell.Tag)
 			if err != nil {
 				return nil, err
 			}
@@ -129,7 +143,7 @@ func RunSweep(cells []SweepCell, opts RunnerOptions) ([]*RepeatedResult, error) 
 			runCfg.Seed = cell.Config.Seed + uint64(rep)
 			jobs = append(jobs, runner.Job[repArtifact]{
 				Key:   key,
-				Label: cellLabel(runCfg),
+				Label: cellLabel(runCfg, cell.Tag),
 				Run: func(context.Context) (repArtifact, error) {
 					rr, err := Run(runCfg)
 					if err != nil {
@@ -167,16 +181,17 @@ func RunSweep(cells []SweepCell, opts RunnerOptions) ([]*RepeatedResult, error) 
 // runTableCell executes one full simulation through the runner —
 // cancellation, panic isolation, progress reporting — and caches the
 // derived table (not the heavyweight RunResult) in the artifact store, so
-// single-run figures (Fig. 8, Fig. 12) participate in -out/-resume like
-// sweep cells do.
-func runTableCell(name string, cfg Config, opts RunnerOptions, build func(*RunResult) (*Table, error)) (*Table, error) {
-	key, err := cellKey(cfg, 0)
+// single-run detail scenarios (Fig. 8, Fig. 12) participate in
+// -out/-resume like sweep cells do. tag is the owning scenario's
+// name@spechash (scenario.Spec.Tag).
+func runTableCell(tag string, cfg Config, opts RunnerOptions, build func(*RunResult) (*Table, error)) (*Table, error) {
+	key, err := cellKey(cfg, 0, tag)
 	if err != nil {
 		return nil, err
 	}
 	jobs := []runner.Job[*Table]{{
-		Key:   name + "|" + key,
-		Label: name + " " + cellLabel(cfg),
+		Key:   key,
+		Label: cellLabel(cfg, tag),
 		Run: func(context.Context) (*Table, error) {
 			rr, err := Run(cfg)
 			if err != nil {

@@ -192,18 +192,18 @@ func TestRunSweepResumeIsFullyCached(t *testing.T) {
 
 func TestCellKeyIsPositionalAndCanonical(t *testing.T) {
 	cfg := parallelConfig(5)
-	k0a, err := cellKey(cfg, 0)
+	k0a, err := cellKey(cfg, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	k0b, err := cellKey(cfg, 0)
+	k0b, err := cellKey(cfg, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if k0a != k0b {
 		t.Fatal("cell key not deterministic")
 	}
-	k1, err := cellKey(cfg, 1)
+	k1, err := cellKey(cfg, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func TestCellKeyIsPositionalAndCanonical(t *testing.T) {
 	// cfg.Seed at rep 1.
 	shifted := cfg
 	shifted.Seed = cfg.Seed + 1
-	kShifted, err := cellKey(shifted, 0)
+	kShifted, err := cellKey(shifted, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestCellKeyIsPositionalAndCanonical(t *testing.T) {
 	// Config changes change the key.
 	changed := cfg
 	changed.Utilization = 1.2
-	kChanged, err := cellKey(changed, 0)
+	kChanged, err := cellKey(changed, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}

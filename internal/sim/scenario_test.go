@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/olive-vne/olive/internal/core"
+	"github.com/olive-vne/olive/internal/scenario"
+	"github.com/olive-vne/olive/internal/topo"
+	"github.com/olive-vne/olive/internal/vnet"
+)
+
+// microScale is a tiny but complete experiment scale for scenario tests.
+func microScale() Scale {
+	return Scale{
+		Reps: 1, HistSlots: 100, OnlineSlots: 40, LambdaPerNode: 2,
+		MeasureFrom: 5, MeasureTo: 35, Utils: []float64{1.0}, Seed: 2,
+	}
+}
+
+func TestApplyPatchTranslatesAndValidates(t *testing.T) {
+	s := microScale()
+	u := 1.2
+	q := 7
+	shuffle := true
+	cfg, err := s.scenarioConfig(scenario.Patch{
+		Topology:           "cittastudi",
+		Utilization:        &u,
+		Trace:              "caida",
+		AppKind:            "tree",
+		Algorithms:         []string{"OLIVE", "FULLG"},
+		Quantiles:          &q,
+		ShufflePlanIngress: &shuffle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology != topo.CittaStudi || cfg.Utilization != 1.2 ||
+		cfg.Trace != TraceCAIDA || cfg.AppKind != vnet.KindTree ||
+		cfg.PlanOptions.Quantiles != 7 || !cfg.ShufflePlanIngress {
+		t.Errorf("patch not applied: %+v", cfg)
+	}
+	if !reflect.DeepEqual(cfg.Algorithms, []core.Algorithm{core.AlgoOLIVE, core.AlgoFullG}) {
+		t.Errorf("algorithms %v", cfg.Algorithms)
+	}
+	// Scale defaults survive where the patch is silent.
+	if cfg.HistSlots != 100 || cfg.OnlineSlots != 40 || cfg.Seed != 2 {
+		t.Errorf("scale defaults lost: %+v", cfg)
+	}
+
+	// Unknown enumerations fail naming the valid options.
+	for _, tc := range []struct {
+		patch scenario.Patch
+		want  string
+	}{
+		{scenario.Patch{Topology: "atlantis"}, "iris, cittastudi, 5gen, 100n150e"},
+		{scenario.Patch{Trace: "pareto"}, "mmpp, caida"},
+		{scenario.Patch{AppKind: "mesh"}, "chain, tree, accelerator, gpu"},
+		{scenario.Patch{Algorithms: []string{"OLIVE", "DIJKSTRA"}}, "OLIVE, QUICKG, FULLG, SLOTOFF"},
+	} {
+		_, err := s.scenarioConfig(tc.patch)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("patch %+v: got %v, want error listing %q", tc.patch, err, tc.want)
+		}
+	}
+}
+
+// TestScenarioMatchesHandWrittenSweep locks the executor's rendering to
+// the pre-refactor hand-written generator structure: a manual RunSweep
+// plus explicit formatting (the code every Fig* function used to
+// duplicate) must yield byte-identical tables to the registered spec.
+func TestScenarioMatchesHandWrittenSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	s := microScale()
+
+	// Hand-written fig9, exactly as experiments.go built it before the
+	// scenario layer: one cell per app-kind with four algorithms.
+	cases := []struct {
+		label string
+		kind  vnet.Kind
+	}{
+		{"Chain", vnet.KindChain},
+		{"Tree", vnet.KindTree},
+		{"Acc", vnet.KindAccelerator},
+		{"Mix", 0},
+	}
+	sp := scenario.MustLookup("fig9")
+	cells := make([]SweepCell, len(cases))
+	for i, c := range cases {
+		cfg := s.config(topo.Iris, 1.0)
+		cfg.AppKind = c.kind
+		cfg.Algorithms = []core.Algorithm{core.AlgoOLIVE, core.AlgoQuickG, core.AlgoFullG, core.AlgoSlotOff}
+		cells[i] = SweepCell{Config: cfg, Reps: s.Reps, Tag: sp.Tag()}
+	}
+	results, err := s.sweep(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Table{
+		Title:  "Fig. 9: rejection rate by application type, Iris @100%",
+		Header: []string{"apps", "OLIVE", "QUICKG", "FULLG", "SLOTOFF"},
+	}
+	for i, c := range cases {
+		rr := results[i]
+		want.AddRow(c.label,
+			fmtCI(rr.Rejection[core.AlgoOLIVE]),
+			fmtCI(rr.Rejection[core.AlgoQuickG]),
+			fmtCI(rr.Rejection[core.AlgoFullG]),
+			fmtCI(rr.Rejection[core.AlgoSlotOff]))
+	}
+
+	got, err := Fig9(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("scenario fig9 diverges from the hand-written sweep:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestScenarioPerAlgoRows locks the ablation row layout (Figs. 10/13):
+// single-algorithm cells keep their axis label, the unlabeled reference
+// cell emits one row per algorithm named after it.
+func TestScenarioPerAlgoRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	tbl, err := Fig13(microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labels []string
+	for _, r := range tbl.Rows {
+		labels = append(labels, r[0])
+	}
+	want := []string{
+		"OLIVE (plan @60%)", "OLIVE (plan @100%)", "OLIVE (plan @140%)",
+		"QUICKG", "SLOTOFF",
+	}
+	if !reflect.DeepEqual(labels, want) {
+		t.Errorf("fig13 row labels %v, want %v", labels, want)
+	}
+}
+
+// TestCustomScenarioBeyondFigures runs a two-axis grid (topology × trace)
+// that no Fig* function can express.
+func TestCustomScenarioBeyondFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	sp := &scenario.Spec{
+		Name: "topo-trace-micro",
+		Axes: []scenario.Axis{
+			{Name: "topology", Values: []scenario.AxisValue{
+				{Label: "iris", Patch: scenario.Patch{Topology: "iris"}},
+				{Label: "cittastudi", Patch: scenario.Patch{Topology: "cittastudi"}},
+			}},
+			{Name: "trace", Values: []scenario.AxisValue{
+				{Label: "mmpp", Patch: scenario.Patch{Trace: "mmpp"}},
+				{Label: "caida", Patch: scenario.Patch{Trace: "caida"}},
+			}},
+		},
+		Reports: []scenario.Report{{
+			Title:     "rejection: topology × trace",
+			RowHeader: "cell",
+			Columns: []scenario.Column{
+				{Header: "OLIVE", Metric: scenario.MetricRejection, Algo: "OLIVE"},
+				{Header: "QUICKG", Metric: scenario.MetricRejection, Algo: "QUICKG"},
+			},
+		}},
+	}
+	tbls, err := RunScenario(sp, microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbls) != 1 || len(tbls[0].Rows) != 4 {
+		t.Fatalf("grid tables wrong: %+v", tbls)
+	}
+	wantRows := []string{"iris mmpp", "iris caida", "cittastudi mmpp", "cittastudi caida"}
+	for i, r := range tbls[0].Rows {
+		if r[0] != wantRows[i] {
+			t.Errorf("row %d label %q, want %q", i, r[0], wantRows[i])
+		}
+		for j, cell := range r[1:] {
+			if !strings.Contains(cell, "±") {
+				t.Errorf("row %d col %d %q not a CI", i, j, cell)
+			}
+		}
+	}
+}
+
+// TestScenarioTagNamespacesArtifacts: two scenarios with identical cell
+// configs must not share artifact keys, and editing a spec must change
+// its cells' keys (spec-hash invalidation).
+func TestScenarioTagNamespacesArtifacts(t *testing.T) {
+	cfg := QuickConfig(topo.CittaStudi, 1.0, 1)
+	a, err := cellKey(cfg, 0, "expA@0011223344556677")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cellKey(cfg, 0, "expB@8899aabbccddeeff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := cellKey(cfg, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b || a == bare || b == bare {
+		t.Error("scenario tag does not namespace cell keys")
+	}
+	sp := scenario.MustLookup("fig6+7")
+	before := sp.Tag()
+	sp.MaxReps = 2
+	if sp.Tag() == before {
+		t.Error("spec edit did not change the tag")
+	}
+}
+
+// TestRunScenarioStaticAndDetailErrors: unknown view/static names fail
+// with the valid options.
+func TestRunScenarioStaticAndDetailErrors(t *testing.T) {
+	s := microScale()
+	_, err := RunScenario(&scenario.Spec{Name: "x", Static: "nope"}, s)
+	if err == nil || !strings.Contains(err.Error(), "topologies, settings") {
+		t.Errorf("static error %v", err)
+	}
+	_, err = RunScenario(&scenario.Spec{Name: "x", Detail: &scenario.Detail{View: "nope"}}, s)
+	if err == nil || !strings.Contains(err.Error(), "slot-demand, node-breakdown") {
+		t.Errorf("detail error %v", err)
+	}
+	_, err = RunScenario(&scenario.Spec{Name: "x"}, s)
+	if err == nil {
+		t.Error("spec without output ran")
+	}
+}
+
+// TestReqPerSlotColumn checks the derived column against the direct
+// computation Fig. 16a used to inline.
+func TestReqPerSlotColumn(t *testing.T) {
+	s := microScale()
+	cfg := s.config(topo.Iris, 1.0)
+	cfg.LambdaPerNode = 4
+	edge := len(topo.MustBuild(topo.Iris, 1).EdgeNodes())
+	got := columnText(scenario.Column{Metric: scenario.MetricReqPerSlot}, cfg, nil, "")
+	if want := fmt.Sprintf("%.0f", 4*float64(edge)); got != want {
+		t.Errorf("req-per-slot = %q, want %q", got, want)
+	}
+}

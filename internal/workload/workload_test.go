@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 	"math/rand/v2"
+	"reflect"
 	"testing"
 
 	"github.com/olive-vne/olive/internal/graph"
@@ -329,6 +330,66 @@ func TestShuffleIngress(t *testing.T) {
 	// Original untouched.
 	if &shuffled.Requests[0] == &tr.Requests[0] {
 		t.Error("ShuffleIngress aliases the original slice")
+	}
+}
+
+// TestGenerateCAIDASameSeedDeterminism: CAIDA traces are a pure function
+// of (substrate, params, seed) — the planner and the runner's positional
+// seeding both rely on it.
+func TestGenerateCAIDASameSeedDeterminism(t *testing.T) {
+	g := topo.MustBuild(topo.Iris, 8)
+	p := smallParams()
+	a, err := GenerateCAIDA(g, p, DefaultCAIDAParams(), testRNG(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCAIDA(g, p, DefaultCAIDAParams(), testRNG(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same-seed CAIDA traces differ")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("CAIDA trace invalid: %v", err)
+	}
+	c, err := GenerateCAIDA(g, p, DefaultCAIDAParams(), testRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical CAIDA traces")
+	}
+}
+
+// TestShuffleIngressDeterministicAndConservative: the Fig. 14 stressor
+// must be reproducible from its seed, keep the shuffled trace valid, and
+// conserve demand exactly — it moves requests in space, never in volume,
+// time or shape.
+func TestShuffleIngressDeterministicAndConservative(t *testing.T) {
+	g := topo.MustBuild(topo.Iris, 10)
+	p := smallParams()
+	tr, err := GenerateMMPP(g, p, testRNG(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ShuffleIngress(tr, g, testRNG(15))
+	b := ShuffleIngress(tr, g, testRNG(15))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same-seed shuffles differ")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("shuffled trace invalid: %v", err)
+	}
+	if a.TotalDemand() != tr.TotalDemand() {
+		t.Fatalf("shuffle changed total demand: %g → %g", tr.TotalDemand(), a.TotalDemand())
+	}
+	for i := range a.Requests {
+		got, want := a.Requests[i], tr.Requests[i]
+		want.Ingress = got.Ingress // the only field allowed to change
+		if got != want {
+			t.Fatalf("request %d changed beyond ingress: %+v vs %+v", i, got, tr.Requests[i])
+		}
 	}
 }
 

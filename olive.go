@@ -45,6 +45,20 @@
 //	store, _ := olive.OpenArtifactStore("results")
 //	cells := []olive.SweepCell{{Config: cfg, Reps: 30}}
 //	res, _ := olive.RunSweep(cells, olive.RunnerOptions{Store: store, Resume: true})
+//
+// # Declarative scenarios
+//
+// Experiments are data: a Scenario describes a grid of simulation cells
+// (named axes over the configuration), the reports to render, and the
+// repetition policy. Every figure of the paper is a registered Scenario
+// (ScenarioNames lists them); arbitrary user scenarios load from JSON and
+// run through the same runner machinery:
+//
+//	sp, _ := olive.LoadScenario(specFile)
+//	tables, _ := olive.RunScenario(sp, olive.SmokeScale())
+//	for _, t := range tables {
+//		t.Fprint(os.Stdout)
+//	}
 package olive
 
 import (
@@ -57,6 +71,7 @@ import (
 	"github.com/olive-vne/olive/internal/persist"
 	"github.com/olive-vne/olive/internal/plan"
 	"github.com/olive-vne/olive/internal/runner"
+	"github.com/olive-vne/olive/internal/scenario"
 	"github.com/olive-vne/olive/internal/sim"
 	"github.com/olive-vne/olive/internal/substrate"
 	"github.com/olive-vne/olive/internal/topo"
@@ -411,6 +426,52 @@ func RunSweep(cells []SweepCell, opts RunnerOptions) ([]*RepeatedResult, error) 
 func RunSimRepeatedWith(cfg SimConfig, reps int, opts RunnerOptions) (*RepeatedResult, error) {
 	return sim.RunRepeatedWith(cfg, reps, opts)
 }
+
+// ---- Declarative scenarios ----
+
+type (
+	// Scenario is a declarative, JSON-serializable experiment spec:
+	// named axes over the simulation configuration plus report
+	// definitions. Every paper figure is a registered Scenario; user
+	// scenarios load from JSON and run through the same machinery.
+	Scenario = scenario.Spec
+	// ScenarioPatch is a partial simulation configuration; unset fields
+	// inherit the base value.
+	ScenarioPatch = scenario.Patch
+	// ScenarioAxis is one swept dimension of a Scenario's grid.
+	ScenarioAxis = scenario.Axis
+	// ScenarioAxisValue is one labeled point of an axis.
+	ScenarioAxisValue = scenario.AxisValue
+	// ScenarioReport declares one output table over the expanded grid.
+	ScenarioReport = scenario.Report
+	// ScenarioColumn is one value column of a ScenarioReport.
+	ScenarioColumn = scenario.Column
+)
+
+// RunScenario executes one scenario at the given scale — the scale
+// supplies trace lengths, repetitions, the utilization sweep and the
+// runner options — and returns its tables, one per report.
+func RunScenario(sp *Scenario, s ExperimentScale) ([]*ResultTable, error) {
+	return sim.RunScenario(sp, s)
+}
+
+// LoadScenario reads and validates a JSON scenario spec.
+func LoadScenario(r io.Reader) (*Scenario, error) { return scenario.Load(r) }
+
+// SaveScenario writes a scenario spec as indented JSON.
+func SaveScenario(w io.Writer, sp *Scenario) error { return scenario.Save(w, sp) }
+
+// RegisterScenario adds a scenario to the registry (duplicate names are
+// rejected: scenario names key artifact stores).
+func RegisterScenario(sp *Scenario) error { return scenario.Register(sp) }
+
+// LookupScenario returns a deep copy of a registered scenario, so the
+// caller may parameterize it freely.
+func LookupScenario(name string) (*Scenario, bool) { return scenario.Lookup(name) }
+
+// ScenarioNames lists the registered scenarios (every paper figure and
+// table, plus anything added through RegisterScenario), sorted.
+func ScenarioNames() []string { return scenario.Names() }
 
 // ---- Persistence ----
 

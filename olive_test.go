@@ -228,3 +228,49 @@ func TestPublicAPIWindowedPlan(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPublicAPIScenarios(t *testing.T) {
+	names := olive.ScenarioNames()
+	if len(names) < 13 {
+		t.Fatalf("only %d registered scenarios: %v", len(names), names)
+	}
+	sp, ok := olive.LookupScenario("table2")
+	if !ok {
+		t.Fatal("table2 not registered")
+	}
+	tbls, err := olive.RunScenario(sp, olive.SmokeScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbls) != 1 || len(tbls[0].Rows) != 4 {
+		t.Fatalf("table2 rendered wrong: %+v", tbls)
+	}
+
+	// Round-trip a custom spec through the public JSON surface.
+	custom := &olive.Scenario{
+		Name: "public-api-micro",
+		Base: olive.ScenarioPatch{Topology: "cittastudi"},
+		Reports: []olive.ScenarioReport{{
+			Title:     "t",
+			RowHeader: "cell",
+			Columns:   []olive.ScenarioColumn{{Header: "OLIVE", Metric: "rejection", Algo: "OLIVE"}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := olive.SaveScenario(&buf, custom); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := olive.LoadScenario(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Hash() != custom.Hash() {
+		t.Fatal("public JSON round trip changed the spec hash")
+	}
+	if err := olive.RegisterScenario(loaded); err != nil {
+		t.Fatal(err)
+	}
+	if err := olive.RegisterScenario(loaded); err == nil {
+		t.Fatal("duplicate public registration accepted")
+	}
+}
