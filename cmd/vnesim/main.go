@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"slices"
@@ -58,6 +59,7 @@ var expNames = []string{
 func run(args []string) error {
 	fs := flag.NewFlagSet("vnesim", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment: "+strings.Join(expNames, " "))
+	golden := fs.String("golden", "", "write the golden-fingerprint suite (one file per config) into this directory and exit")
 	list := fs.Bool("list", false, "list the registered scenarios with their descriptions and exit")
 	scenarioFile := fs.String("scenario", "", "run a user-defined scenario spec loaded from this JSON file")
 	topoFlag := fs.String("topo", "", "topology for fig6/fig7/fig16 (iris, cittastudi, 5gen, 100n150e); empty = all four")
@@ -116,6 +118,12 @@ func run(args []string) error {
 			return fmt.Errorf("-cpuprofile: %w", err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	// After the profiling hooks: the golden suite's hot path is exactly
+	// what -cpuprofile/-memprofile exist to inspect.
+	if *golden != "" {
+		return runGolden(*golden)
 	}
 
 	var scale sim.Scale
@@ -191,19 +199,45 @@ func run(args []string) error {
 		return nil
 	}
 
+	return runExperiments(*exp, *topoFlag, *scaleFlag, scale)
+}
+
+// runGolden regenerates the golden-fingerprint determinism suite: one
+// canonical fingerprint file per GoldenConfig. CI diffs the output
+// against testdata/golden/; regenerate with
+//
+//	go run ./cmd/vnesim -golden testdata/golden
+func runGolden(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, gc := range sim.GoldenConfigs() {
+		fmt.Fprintf(os.Stderr, "golden: %s...\n", gc.Name)
+		fp, err := sim.Fingerprint(gc.Config)
+		if err != nil {
+			return fmt.Errorf("golden %s: %w", gc.Name, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, gc.Name+".fp"), []byte(fp), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runExperiments(exp, topoFlag, scaleFlag string, scale sim.Scale) error {
 	topos := topo.All()
-	if *topoFlag != "" {
-		topos = []topo.Name{topo.Name(*topoFlag)}
+	if topoFlag != "" {
+		topos = []topo.Name{topo.Name(topoFlag)}
 		if _, ok := topo.Specs()[topos[0]]; !ok {
 			names := make([]string, len(topo.All()))
 			for i, t := range topo.All() {
 				names[i] = string(t)
 			}
-			return fmt.Errorf("unknown topology %q (valid: %s)", *topoFlag, strings.Join(names, ", "))
+			return fmt.Errorf("unknown topology %q (valid: %s)", topoFlag, strings.Join(names, ", "))
 		}
 	}
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
+	want := func(name string) bool { return exp == "all" || exp == name }
 
 	if want("table2") {
 		t, err := sim.Table2()
@@ -221,10 +255,10 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			if *exp != "fig7" {
+			if exp != "fig7" {
 				rej.Fprint(os.Stdout)
 			}
-			if *exp != "fig6" {
+			if exp != "fig6" {
 				cost.Fprint(os.Stdout)
 			}
 		}
@@ -289,7 +323,7 @@ func run(args []string) error {
 	}
 	if want("fig16a") {
 		lambdas := []float64{2, 4, 8}
-		if *scaleFlag == "paper" {
+		if scaleFlag == "paper" {
 			lambdas = []float64{5, 10, 20, 40}
 		}
 		t, err := sim.Fig16a(scale, lambdas)

@@ -1,0 +1,225 @@
+// Command vnesimd is the online embedding service: a long-running
+// HTTP/JSON daemon that serves virtual-network embedding requests against
+// live substrate state through a sharded engine pool (internal/serve).
+//
+// Server:
+//
+//	vnesimd -topo iris -algo olive -shards 4 -addr :8080
+//	vnesimd -topo iris -algo quickg -shards 1 -deterministic -addr :8080
+//
+// The daemon builds the named topology and the paper's standard
+// application mix from -seed. With -algo olive it first generates an MMPP
+// request history (-util, -hist-slots, -lambda) and solves PLAN-VNE over
+// it — the serving plan. SIGTERM/SIGINT drain gracefully: new requests
+// get 503, admitted ones still receive their decision.
+//
+// Client utilities (no server started):
+//
+//	vnesimd -gen-stream 200 -topo iris -seed 7 > stream.json
+//	vnesimd -replay stream.json -addr http://localhost:8080
+//
+// -gen-stream writes a canned request stream drawn from the same MMPP
+// workload model the simulator uses; -replay posts a stream sequentially
+// and prints one canonical decision line per request, so two runs against
+// a deterministic single-shard server diff byte-identical (this is what
+// CI asserts).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/olive-vne/olive/internal/core"
+	"github.com/olive-vne/olive/internal/graph"
+	"github.com/olive-vne/olive/internal/plan"
+	"github.com/olive-vne/olive/internal/serve"
+	"github.com/olive-vne/olive/internal/topo"
+	"github.com/olive-vne/olive/internal/vnet"
+	"github.com/olive-vne/olive/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vnesimd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vnesimd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address, or target base URL with -replay")
+	topoFlag := fs.String("topo", "iris", "substrate topology (iris, cittastudi, 5gen, 100n150e)")
+	topoSeed := fs.Uint64("toposeed", 1, "topology construction seed")
+	seed := fs.Uint64("seed", 1, "seed for the application mix, plan history and -gen-stream")
+	algo := fs.String("algo", "olive", "embedding algorithm: olive, quickg, fullg")
+	shards := fs.Int("shards", 1, "engine shards; each owns 1/N of the substrate capacity")
+	queue := fs.Int("queue", 256, "per-shard queue depth (overflow answers 429)")
+	slot := fs.Duration("slot", time.Second, "slot duration in real-time mode")
+	deterministic := fs.Bool("deterministic", false, "virtual clock: slots advance only via request arrive fields")
+	util := fs.Float64("util", 1.0, "plan-history target utilization (olive) and -gen-stream demand level")
+	histSlots := fs.Int("hist-slots", 200, "plan-history length in slots (olive)")
+	lambda := fs.Float64("lambda", 3, "plan-history arrivals per edge node per slot")
+	genStream := fs.Int("gen-stream", 0, "generate a canned request stream of this many requests to stdout and exit")
+	replay := fs.String("replay", "", "post this stream file to -addr sequentially, print decision lines, exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tn := topo.Name(*topoFlag)
+	if _, ok := topo.Specs()[tn]; !ok {
+		return fmt.Errorf("unknown topology %q", *topoFlag)
+	}
+
+	if *replay != "" {
+		return runReplay(*addr, *replay)
+	}
+
+	g, err := topo.Build(tn, *topoSeed)
+	if err != nil {
+		return err
+	}
+	// The rng stream mirrors sim.Run: apps, then the history trace, then
+	// the plan all consume one deterministic sequence derived from -seed.
+	rng := rand.New(rand.NewPCG(*seed, 0x51f0))
+	apps := vnet.DefaultMix(vnet.DefaultParams(), rng)
+
+	if *genStream > 0 {
+		return runGenStream(os.Stdout, g, len(apps), *genStream, *util, *lambda, *seed)
+	}
+
+	opts := serve.Options{
+		Shards:        *shards,
+		QueueDepth:    *queue,
+		Algorithm:     core.Algorithm(algoName(*algo)),
+		SlotDuration:  *slot,
+		Deterministic: *deterministic,
+	}
+	if opts.Algorithm == core.AlgoOLIVE {
+		log.Printf("building PLAN-VNE plan: %s hist=%d slots λ=%g util=%g", tn, *histSlots, *lambda, *util)
+		t0 := time.Now()
+		p, err := buildPlan(g, apps, *util, *histSlots, *lambda, rng)
+		if err != nil {
+			return err
+		}
+		log.Printf("plan ready: %d classes in %s", len(p.Classes), time.Since(t0).Round(time.Millisecond))
+		opts.Plan = p
+	}
+
+	s, err := serve.New(g, apps, opts)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("vnesimd serving on %s: topo=%s algo=%s shards=%d deterministic=%v",
+			*addr, tn, opts.Algorithm, *shards, *deterministic)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("signal received; draining")
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		return err
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		return err
+	}
+	log.Print("drained; bye")
+	return nil
+}
+
+// algoName canonicalizes the -algo flag to the core.Algorithm constants.
+func algoName(a string) string {
+	switch a {
+	case "olive":
+		return string(core.AlgoOLIVE)
+	case "quickg":
+		return string(core.AlgoQuickG)
+	case "fullg":
+		return string(core.AlgoFullG)
+	}
+	return a // serve.New rejects unknown names with a useful error
+}
+
+// workloadParams derives the MMPP parameters the simulator uses for the
+// given utilization and arrival rate (see sim.Run's calibration note).
+func workloadParams(util, lambda float64, slots, numApps int) workload.Params {
+	wp := workload.DefaultParams().WithUtilization(util)
+	wp.Slots = slots
+	wp.LambdaPerNode = lambda
+	wp.NumApps = numApps
+	wp.DemandMean = util * 100 / lambda
+	return wp
+}
+
+// buildPlan generates the request history and solves PLAN-VNE over it.
+func buildPlan(g *graph.Graph, apps []*vnet.App, util float64, histSlots int, lambda float64, rng *rand.Rand) (*plan.Plan, error) {
+	wp := workloadParams(util, lambda, histSlots, len(apps))
+	hist, err := workload.GenerateMMPP(g, wp, rng)
+	if err != nil {
+		return nil, err
+	}
+	popts := plan.DefaultOptions()
+	return plan.BuildFromHistory(g, apps, hist, popts, rng)
+}
+
+// runGenStream emits a canned request stream drawn from the MMPP model
+// (its own rng stream, so it never replays the plan history).
+func runGenStream(w io.Writer, g *graph.Graph, numApps, n int, util, lambda float64, seed uint64) error {
+	// Size the trace long enough to hold n requests: λ·edgeNodes per slot
+	// in expectation, padded 2×.
+	perSlot := lambda * float64(len(g.EdgeNodes()))
+	slots := int(2*float64(n)/perSlot) + 10
+	wp := workloadParams(util, lambda, slots, numApps)
+	tr, err := workload.GenerateMMPP(g, wp, rand.New(rand.NewPCG(seed, 0xd5ea)))
+	if err != nil {
+		return err
+	}
+	if len(tr.Requests) < n {
+		return fmt.Errorf("generated only %d requests, want %d (raise -lambda?)", len(tr.Requests), n)
+	}
+	reqs := make([]serve.StreamRequest, n)
+	for i, r := range tr.Requests[:n] {
+		reqs[i] = serve.StreamRequest{
+			App: r.App, Ingress: int(r.Ingress), Demand: r.Demand,
+			Duration: r.Duration, Arrive: r.Arrive,
+		}
+	}
+	return serve.SaveStream(w, reqs)
+}
+
+// runReplay posts a stream file and prints the canonical decision lines.
+func runReplay(baseURL, file string) error {
+	f, err := os.Open(file)
+	if err != nil {
+		return err
+	}
+	reqs, err := serve.LoadStream(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	return serve.Replay(nil, baseURL, reqs, os.Stdout)
+}

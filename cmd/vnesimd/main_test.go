@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/olive-vne/olive/internal/core"
+	"github.com/olive-vne/olive/internal/serve"
+	"github.com/olive-vne/olive/internal/topo"
+)
+
+func TestAlgoName(t *testing.T) {
+	cases := map[string]string{
+		"olive":  string(core.AlgoOLIVE),
+		"quickg": string(core.AlgoQuickG),
+		"fullg":  string(core.AlgoFullG),
+		"bogus":  "bogus", // passed through for serve.New to reject
+	}
+	for in, want := range cases {
+		if got := algoName(in); got != want {
+			t.Errorf("algoName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGenStreamRoundTrip(t *testing.T) {
+	g := topo.MustBuild(topo.Iris, 1)
+	var buf bytes.Buffer
+	if err := runGenStream(&buf, g, 4, 50, 1.0, 3, 7); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.String()
+	reqs, err := serve.LoadStream(strings.NewReader(encoded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 50 {
+		t.Fatalf("stream holds %d requests, want 50", len(reqs))
+	}
+	prev := 0
+	for i, r := range reqs {
+		if r.App < 0 || r.App >= 4 || r.Demand <= 0 || r.Duration < 1 || r.Arrive < prev {
+			t.Fatalf("request %d malformed or out of order: %+v", i, r)
+		}
+		prev = r.Arrive
+	}
+	// Same seed, byte-identical stream.
+	var buf2 bytes.Buffer
+	if err := runGenStream(&buf2, g, 4, 50, 1.0, 3, 7); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != encoded {
+		t.Fatal("two generations from one seed differ")
+	}
+}
+
+func TestRunRejectsUnknownTopology(t *testing.T) {
+	err := run([]string{"-topo", "nope", "-gen-stream", "1"})
+	if err == nil || !strings.Contains(err.Error(), "unknown topology") {
+		t.Fatalf("err = %v, want unknown-topology error", err)
+	}
+}

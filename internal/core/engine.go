@@ -212,6 +212,21 @@ func (e *Engine) release(ar *activeReq) {
 	delete(e.active, ar.req.ID)
 }
 
+// ReleaseByID releases the active request with the given ID before its
+// scheduled departure, returning its resources (and, for planned
+// allocations, its plan share) immediately. It reports whether the
+// request was active. The serving layer uses it for client-initiated
+// teardown; the request's stale departure-heap entry is skipped when its
+// slot comes up.
+func (e *Engine) ReleaseByID(id int) bool {
+	ar, ok := e.active[id]
+	if !ok {
+		return false
+	}
+	e.release(ar)
+	return true
+}
+
 // Process handles one arriving request (Alg. 2 lines 6–16) and returns
 // the outcome. Requests must be fed in arrival order, interleaved with
 // StartSlot calls.

@@ -95,6 +95,71 @@ func TestQuickGAcceptsAndReleases(t *testing.T) {
 	}
 }
 
+func TestReleaseByID(t *testing.T) {
+	g := tinySubstrate()
+	app := tinyApp()
+	e, err := NewEngine(g, []*vnet.App{app}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.StartSlot(0)
+	out, err := e.Process(req(0, 0, 0, 10, 0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted {
+		t.Fatal("request not accepted")
+	}
+	if !e.ReleaseByID(0) {
+		t.Fatal("ReleaseByID(0) = false, want true for an active request")
+	}
+	if e.ActiveCount() != 0 {
+		t.Fatalf("ActiveCount after ReleaseByID = %d, want 0", e.ActiveCount())
+	}
+	caps := g.Capacities()
+	for i, c := range caps {
+		if math.Abs(e.Residual()[i]-c) > 1e-9 {
+			t.Fatalf("element %d residual %g ≠ capacity %g after early release", i, e.Residual()[i], c)
+		}
+	}
+	if e.ReleaseByID(0) {
+		t.Fatal("ReleaseByID(0) = true on an already-released request")
+	}
+	if e.ReleaseByID(99) {
+		t.Fatal("ReleaseByID(99) = true on an unknown request")
+	}
+	// The stale departure-heap entry from the released request must not
+	// disturb later slots.
+	e.StartSlot(5)
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// A planned allocation returns its plan-share residual too.
+	p := manualPlan(t, g, app, 100)
+	ep, err := NewEngine(g, []*vnet.App{app}, Options{Plan: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.StartSlot(0)
+	out, err = ep.Process(req(1, 0, 0, 10, 0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted || !out.Planned {
+		t.Fatalf("outcome = %+v, want accepted planned", out)
+	}
+	before := ep.PlannedResidual(0, 0)
+	if !ep.ReleaseByID(1) {
+		t.Fatal("ReleaseByID(1) = false")
+	}
+	if after := ep.PlannedResidual(0, 0); after != before+10 {
+		t.Fatalf("planned residual after release = %g, want %g", after, before+10)
+	}
+	if err := ep.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestQuickGRejectsWhenSaturated(t *testing.T) {
 	g := tinySubstrate()
 	app := tinyApp()

@@ -22,7 +22,8 @@ type Reporter interface {
 
 // TextReporter prints one progress line per completed job with a running
 // ETA extrapolated from throughput so far (wall time per completed job
-// times jobs remaining — parallelism is already folded into the rate).
+// times jobs remaining — parallelism is already folded into the rate),
+// and one machine-readable summary line at the end (see Finish).
 type TextReporter struct {
 	W io.Writer
 
@@ -30,6 +31,8 @@ type TextReporter struct {
 	total   int
 	done    int
 	ran     int // jobs actually executed (excludes cache hits)
+	cached  int
+	failed  int
 	started time.Time
 }
 
@@ -43,6 +46,8 @@ func (r *TextReporter) Start(total, cached int) {
 	r.total = total
 	r.done = cached
 	r.ran = 0
+	r.cached = cached
+	r.failed = 0
 	r.started = time.Now()
 	if cached > 0 {
 		fmt.Fprintf(r.W, "runner: %d jobs (%d cached)\n", total, cached)
@@ -60,6 +65,7 @@ func (r *TextReporter) Done(label string, elapsed time.Duration, err error) {
 	status := "done"
 	if err != nil {
 		status = "FAILED"
+		r.failed++
 	}
 	line := fmt.Sprintf("runner: [%d/%d] %s %s (%.2fs)", r.done, r.total, status, label, elapsed.Seconds())
 	if remaining := r.total - r.done; remaining > 0 && r.ran > 0 {
@@ -69,9 +75,16 @@ func (r *TextReporter) Done(label string, elapsed time.Duration, err error) {
 	fmt.Fprintln(r.W, line)
 }
 
-// Finish implements Reporter.
+// Finish implements Reporter. Besides the human-readable closing line it
+// emits one machine-readable summary with fixed key order:
+//
+//	runner-summary jobs=<total> ran=<executed> cached=<store hits> failed=<errors>
+//
+// Scripts (the CI resume check included) must parse this line, never the
+// free-text progress output, which carries no stability guarantee.
 func (r *TextReporter) Finish(elapsed time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	fmt.Fprintf(r.W, "runner: finished %d/%d jobs in %s\n", r.done, r.total, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(r.W, "runner-summary jobs=%d ran=%d cached=%d failed=%d\n", r.total, r.ran, r.cached, r.failed)
 }

@@ -1,0 +1,39 @@
+package runner
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTextReporterSummaryLine pins the machine-readable summary format CI
+// parses: fixed key order, one line, exact counts.
+func TestTextReporterSummaryLine(t *testing.T) {
+	var sb strings.Builder
+	r := NewTextReporter(&sb)
+	r.Start(5, 2)
+	r.Done("a", time.Millisecond, nil)
+	r.Done("b", time.Millisecond, errors.New("boom"))
+	r.Done("c", time.Millisecond, nil)
+	r.Finish(10 * time.Millisecond)
+
+	want := "runner-summary jobs=5 ran=3 cached=2 failed=1"
+	var found bool
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if line == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("output lacks %q:\n%s", want, sb.String())
+	}
+	// A second fan-out through the same reporter resets the counters.
+	sb.Reset()
+	r.Start(1, 0)
+	r.Done("d", time.Millisecond, nil)
+	r.Finish(time.Millisecond)
+	if !strings.Contains(sb.String(), "runner-summary jobs=1 ran=1 cached=0 failed=0") {
+		t.Fatalf("reporter did not reset between fan-outs:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/olive-vne/olive/internal/graph"
+	"github.com/olive-vne/olive/internal/workload"
+)
+
+// EmbedRequest is the body of POST /v1/embed.
+type EmbedRequest struct {
+	// App indexes the server's application set.
+	App int `json:"app"`
+	// Ingress is the substrate node the user resides at.
+	Ingress int `json:"ingress"`
+	// Demand is the request's demand size d(r) (> 0).
+	Demand float64 `json:"demand"`
+	// Duration is the embedding lifetime T(r) in slots (≥ 1).
+	Duration int `json:"duration"`
+	// Arrive is the request's arrival slot. Deterministic mode advances
+	// the virtual clock with it; real-time mode ignores it and stamps the
+	// wall-clock slot.
+	Arrive int `json:"arrive,omitempty"`
+}
+
+// EmbedResponse is the decision for one embedding request.
+type EmbedResponse struct {
+	// ID is the server-assigned request handle; DELETE
+	// /v1/embeddings/{id} releases it early.
+	ID int `json:"id"`
+	// Shard is the engine shard that decided the request.
+	Shard int `json:"shard"`
+	// Slot is the slot the decision was made at.
+	Slot int `json:"slot"`
+	// Accepted reports admission; Planned whether the allocation came
+	// fully out of the residual plan.
+	Accepted bool `json:"accepted"`
+	Planned  bool `json:"planned"`
+	// Cost is the embedding's resource cost per slot (0 when rejected).
+	Cost float64 `json:"cost"`
+	// Nodes maps each VNF (by index, root first) to its substrate node.
+	Nodes []int `json:"nodes,omitempty"`
+	// Preempted lists request IDs evicted to make room.
+	Preempted []int `json:"preempted,omitempty"`
+	// LatencyUS is the server-side decision latency in microseconds
+	// (enqueue to decision).
+	LatencyUS int64 `json:"latency_us"`
+}
+
+// ReleaseResponse is the body of DELETE /v1/embeddings/{id}.
+type ReleaseResponse struct {
+	ID       int  `json:"id"`
+	Released bool `json:"released"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /v1/embed            submit an embedding request
+//	DELETE /v1/embeddings/{id}  release an embedding before it expires
+//	GET    /v1/stats            service statistics
+//	GET    /healthz             liveness (503 while draining)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/embed", s.handleEmbed)
+	mux.HandleFunc("DELETE /v1/embeddings/{id}", s.handleRelease)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// admit registers an in-flight request unless the server is draining.
+// The Add-before-check order pairs with Drain's Swap-before-Wait: once
+// Drain observes the in-flight count, no handler that passed the check
+// can still be unregistered.
+func (s *Server) admit() bool {
+	s.inflight.Add(1)
+	if s.draining.Load() {
+		s.inflight.Done()
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
+	if !s.admit() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer s.inflight.Done()
+
+	var er EmbedRequest
+	if err := json.NewDecoder(r.Body).Decode(&er); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if er.App < 0 || er.App >= len(s.apps) {
+		writeError(w, http.StatusBadRequest, "app %d outside [0,%d)", er.App, len(s.apps))
+		return
+	}
+	if er.Ingress < 0 || er.Ingress >= s.g.NumNodes() {
+		writeError(w, http.StatusBadRequest, "ingress %d outside [0,%d)", er.Ingress, s.g.NumNodes())
+		return
+	}
+	if er.Demand <= 0 {
+		writeError(w, http.StatusBadRequest, "demand %g must be positive", er.Demand)
+		return
+	}
+	if er.Duration < 1 {
+		writeError(w, http.StatusBadRequest, "duration %d must be ≥ 1", er.Duration)
+		return
+	}
+	arrive := er.Arrive
+	if !s.opts.Deterministic {
+		arrive = s.clockSlot()
+	} else if arrive < 0 {
+		writeError(w, http.StatusBadRequest, "arrive %d must be ≥ 0", arrive)
+		return
+	}
+
+	id := int(s.nextID.Add(1) - 1)
+	req := workload.Request{
+		ID:       id,
+		App:      er.App,
+		Ingress:  graph.NodeID(er.Ingress),
+		Demand:   er.Demand,
+		Arrive:   arrive,
+		Duration: er.Duration,
+	}
+	sh := s.shardOf(req.Ingress)
+	o := op{kind: opEmbed, req: req, reply: make(chan result, 1)}
+	t0 := time.Now()
+	select {
+	case sh.queue <- o:
+	default:
+		writeError(w, http.StatusTooManyRequests, "shard %d queue full (%d)", sh.idx, cap(sh.queue))
+		return
+	}
+	res := <-o.reply
+	lat := time.Since(t0)
+	if res.err != nil {
+		writeError(w, http.StatusInternalServerError, "engine: %v", res.err)
+		return
+	}
+	s.lat.record(lat)
+	if res.accepted {
+		s.recordRevenue(er.Demand * float64(er.Duration))
+	}
+	writeJSON(w, http.StatusOK, EmbedResponse{
+		ID:        id,
+		Shard:     sh.idx,
+		Slot:      res.slot,
+		Accepted:  res.accepted,
+		Planned:   res.planned,
+		Cost:      res.cost,
+		Nodes:     res.nodes,
+		Preempted: res.preempted,
+		LatencyUS: lat.Microseconds(),
+	})
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	if !s.admit() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer s.inflight.Done()
+
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad id: %v", err)
+		return
+	}
+	// The ID does not encode its shard; releases probe the shards in
+	// order, stopping at the owner (IDs are globally unique, so at most
+	// one shard holds the embedding). Sends honor the same backpressure
+	// as embeds — a full queue answers 429 instead of blocking the
+	// handler behind a busy shard; the release ops already executed were
+	// no-ops on non-owning shards, so retrying is safe.
+	released := false
+	for _, sh := range s.shards {
+		o := op{kind: opRelease, id: id, reply: make(chan result, 1)}
+		select {
+		case sh.queue <- o:
+		default:
+			writeError(w, http.StatusTooManyRequests, "shard %d queue full (%d)", sh.idx, cap(sh.queue))
+			return
+		}
+		if res := <-o.reply; res.released {
+			released = true
+			break
+		}
+	}
+	if !released {
+		writeJSON(w, http.StatusNotFound, ReleaseResponse{ID: id})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReleaseResponse{ID: id, Released: true})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

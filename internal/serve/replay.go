@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// StreamRequest is one request of a canned stream (the on-disk JSON the
+// replay client posts). It is EmbedRequest plus nothing — a separate name
+// so stream files are self-describing.
+type StreamRequest = EmbedRequest
+
+// LoadStream decodes a JSON stream file: {"requests": [...]}.
+func LoadStream(r io.Reader) ([]StreamRequest, error) {
+	var f struct {
+		Requests []StreamRequest `json:"requests"`
+	}
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("serve: stream: %w", err)
+	}
+	if len(f.Requests) == 0 {
+		return nil, fmt.Errorf("serve: stream holds no requests")
+	}
+	return f.Requests, nil
+}
+
+// SaveStream writes a stream file readable by LoadStream.
+func SaveStream(w io.Writer, reqs []StreamRequest) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Requests []StreamRequest `json:"requests"`
+	}{reqs})
+}
+
+// Replay posts the stream to baseURL sequentially — one request at a
+// time, preserving order, which is what makes single-shard runs
+// reproducible — and writes one canonical decision line per request to w:
+//
+//	req=<id> shard=<n> slot=<t> accepted=<0|1> planned=<0|1> cost=<g> preempted=<ids>
+//
+// Cost uses the shortest float64 representation, so equal lines mean
+// bit-equal costs. Latency is deliberately absent: decision lines from
+// two runs of the same deterministic server diff clean. Replay fails on
+// the first non-200 response.
+func Replay(client *http.Client, baseURL string, reqs []StreamRequest, w io.Writer) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	baseURL = strings.TrimSuffix(baseURL, "/")
+	for i, sr := range reqs {
+		body, err := json.Marshal(sr)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(baseURL+"/v1/embed", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("serve: replay request %d: %w", i, err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("serve: replay request %d: %w", i, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("serve: replay request %d: HTTP %d: %s", i, resp.StatusCode, strings.TrimSpace(string(data)))
+		}
+		var er EmbedResponse
+		if err := json.Unmarshal(data, &er); err != nil {
+			return fmt.Errorf("serve: replay request %d: %w", i, err)
+		}
+		fmt.Fprintln(w, DecisionLine(&er))
+	}
+	return nil
+}
+
+// DecisionLine renders the canonical, latency-free decision line CI diffs.
+func DecisionLine(er *EmbedResponse) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "req=%d shard=%d slot=%d accepted=%d planned=%d cost=%s",
+		er.ID, er.Shard, er.Slot, b2i(er.Accepted), b2i(er.Planned),
+		strconv.FormatFloat(er.Cost, 'g', -1, 64))
+	if len(er.Preempted) > 0 {
+		sb.WriteString(" preempted=")
+		for i, id := range er.Preempted {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Itoa(id))
+		}
+	}
+	return sb.String()
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,267 @@
+// Package serve is the online request-serving layer of the reproduction:
+// a long-running HTTP/JSON service that accepts virtual-network embedding
+// requests against live substrate state and answers with accept/reject
+// decisions, embeddings, costs and latency.
+//
+// The concurrency model is a sharded engine pool. A core.Engine is
+// single-threaded by design (it owns mutable residual state and a warm
+// path cache), so instead of locking one engine the server runs N shards,
+// each owning its own substrate.State + embedder.Oracle + core.Engine and
+// a serialized request queue. A deterministic ingress→shard router
+// (FNV-1a over the ingress node) pins every ingress — and therefore every
+// plan class, which is keyed by (app, ingress) — to exactly one shard.
+// Queues are bounded; an arriving request that finds its shard's queue
+// full is answered 429 (backpressure) instead of growing memory.
+//
+// With more than one shard the substrate capacity is partitioned: each
+// shard's state starts at capacity/N, so the shards' independent
+// admissions cannot jointly oversubscribe a physical element. This trades
+// packing quality for throughput — a request one shard rejects might have
+// fit in another shard's slice — and is the documented cost of scaling;
+// -shards 1 is exact.
+//
+// Time is slotted, like the simulator. In real-time mode a per-shard
+// departure timer maps wall clock to slots (Options.SlotDuration) and
+// releases expired embeddings at slot boundaries. In deterministic mode
+// (Options.Deterministic) there are no timers: the virtual clock advances
+// only through the Arrive field of the requests themselves, so the
+// accept/reject sequence for a given request stream is a pure function of
+// the stream — byte-reproducible across runs, which is what CI asserts.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/olive-vne/olive/internal/core"
+	"github.com/olive-vne/olive/internal/embedder"
+	"github.com/olive-vne/olive/internal/graph"
+	"github.com/olive-vne/olive/internal/plan"
+	"github.com/olive-vne/olive/internal/substrate"
+	"github.com/olive-vne/olive/internal/vnet"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Shards is the number of engine shards (default 1). Each shard owns
+	// an independent substrate state holding 1/Shards of every element's
+	// capacity.
+	Shards int
+	// QueueDepth bounds each shard's request queue (default 256). A full
+	// queue answers 429.
+	QueueDepth int
+	// Algorithm selects the embedding algorithm (default OLIVE when Plan
+	// is set, QUICKG otherwise). SLOTOFF is batch-only and rejected.
+	Algorithm core.Algorithm
+	// Plan is the PLAN-VNE plan guiding OLIVE. Ignored by QUICKG/FULLG.
+	Plan *plan.Plan
+	// Engine carries ablation switches forwarded to every shard's engine
+	// (Plan and Exact are overwritten from Algorithm/Plan).
+	Engine core.Options
+	// SlotDuration maps wall-clock time to slots in real-time mode
+	// (default 1s). Departure timers fire on slot boundaries.
+	SlotDuration time.Duration
+	// Deterministic disables the wall-clock timers: slots advance only
+	// via request Arrive fields, making the decision sequence a pure
+	// function of the request stream.
+	Deterministic bool
+
+	// testHookProcess, when set, runs on the shard goroutine before each
+	// embed is processed. Package tests use it to stall a shard
+	// deterministically (backpressure, drain); nil in production.
+	testHookProcess func(shard int)
+}
+
+func (o *Options) normalize() error {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.SlotDuration <= 0 {
+		o.SlotDuration = time.Second
+	}
+	if o.Algorithm == "" {
+		if !o.Plan.Empty() {
+			o.Algorithm = core.AlgoOLIVE
+		} else {
+			o.Algorithm = core.AlgoQuickG
+		}
+	}
+	switch o.Algorithm {
+	case core.AlgoOLIVE:
+		if o.Plan.Empty() {
+			return errors.New("serve: OLIVE needs a plan (use QUICKG for plan-less serving)")
+		}
+	case core.AlgoQuickG, core.AlgoFullG:
+		// plan-less
+	case core.AlgoSlotOff:
+		return errors.New("serve: SLOTOFF is a batch baseline, not servable online")
+	default:
+		return fmt.Errorf("serve: unknown algorithm %q", o.Algorithm)
+	}
+	return nil
+}
+
+// Server is the sharded online embedding service. Construct with New,
+// expose via Handler, stop with Drain.
+type Server struct {
+	g    *graph.Graph
+	apps []*vnet.App
+	opts Options
+
+	shards  []*shard
+	nextID  atomic.Int64
+	started time.Time
+
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainDone chan struct{}
+	inflight  sync.WaitGroup // HTTP requests between admission and reply
+	timerStop context.CancelFunc
+	timerWG   sync.WaitGroup
+	shardWG   sync.WaitGroup
+
+	lat     *latencyRing
+	revMu   sync.Mutex
+	revenue float64
+}
+
+// New builds a server over substrate g and application set apps. The
+// shards' engines are constructed eagerly so misconfiguration (e.g. OLIVE
+// without a plan) fails here, not on the first request.
+func New(g *graph.Graph, apps []*vnet.App, opts Options) (*Server, error) {
+	if g == nil || len(apps) == 0 {
+		return nil, errors.New("serve: server needs a substrate and applications")
+	}
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	eopts := opts.Engine
+	eopts.Plan = nil
+	eopts.Exact = opts.Algorithm == core.AlgoFullG
+	if opts.Algorithm == core.AlgoOLIVE {
+		eopts.Plan = opts.Plan
+	}
+
+	s := &Server{
+		g:         g,
+		apps:      apps,
+		opts:      opts,
+		started:   time.Now(),
+		drainDone: make(chan struct{}),
+		lat:       newLatencyRing(8192),
+	}
+	// Construct every shard before spawning any goroutine, so a failed
+	// construction leaks nothing.
+	for i := 0; i < opts.Shards; i++ {
+		st := substrate.New(g)
+		eng, err := core.NewEngineOn(embedder.ForState(st), apps, eopts)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Shards > 1 {
+			st.ScaleResidual(1 / float64(opts.Shards))
+		}
+		sh := newShard(i, eng, st, opts.QueueDepth)
+		sh.hook = opts.testHookProcess
+		s.shards = append(s.shards, sh)
+	}
+	for _, sh := range s.shards {
+		s.shardWG.Add(1)
+		go func() {
+			defer s.shardWG.Done()
+			sh.run()
+		}()
+	}
+	if !opts.Deterministic {
+		ctx, cancel := context.WithCancel(context.Background())
+		s.timerStop = cancel
+		s.timerWG.Add(1)
+		go s.departureTimer(ctx)
+	}
+	return s, nil
+}
+
+// shardOf routes an ingress node to its shard: FNV-1a over the node ID.
+// The mapping is stable across runs and restarts, so plan classes (keyed
+// by app × ingress) always land on the same shard.
+func (s *Server) shardOf(ingress graph.NodeID) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	h := fnv.New32a()
+	var b [4]byte
+	b[0] = byte(ingress)
+	b[1] = byte(ingress >> 8)
+	b[2] = byte(ingress >> 16)
+	b[3] = byte(ingress >> 24)
+	h.Write(b[:])
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// departureTimer advances every shard's clock once per slot so expired
+// embeddings are released even when no requests arrive. Sends are
+// non-blocking: a shard busy enough to have a full advance mailbox will
+// catch up on the next tick (advances carry the absolute slot).
+func (s *Server) departureTimer(ctx context.Context) {
+	defer s.timerWG.Done()
+	tick := time.NewTicker(s.opts.SlotDuration)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-tick.C:
+			slot := int(now.Sub(s.started) / s.opts.SlotDuration)
+			for _, sh := range s.shards {
+				sh.tryAdvance(slot)
+			}
+		}
+	}
+}
+
+// clockSlot returns the current real-time slot (0 in deterministic mode;
+// the virtual clock lives in the shards).
+func (s *Server) clockSlot() int {
+	if s.opts.Deterministic {
+		return 0
+	}
+	return int(time.Since(s.started) / s.opts.SlotDuration)
+}
+
+// Drain gracefully stops the server: new requests are refused with 503,
+// every admitted request still receives its decision, departure timers
+// stop, and the shard loops exit after emptying their queues. The context
+// bounds the wait. Drain is idempotent and safe to call concurrently:
+// every caller — first or not — blocks until the drain completes (or its
+// own context expires).
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		go func() {
+			s.inflight.Wait()
+			if s.timerStop != nil {
+				s.timerStop()
+			}
+			s.timerWG.Wait()
+			for _, sh := range s.shards {
+				close(sh.queue)
+			}
+			s.shardWG.Wait()
+			close(s.drainDone)
+		}()
+	})
+	select {
+	case <-s.drainDone:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}

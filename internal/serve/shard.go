@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"math"
+	"sync/atomic"
+
+	"github.com/olive-vne/olive/internal/core"
+	"github.com/olive-vne/olive/internal/substrate"
+	"github.com/olive-vne/olive/internal/workload"
+)
+
+// opKind discriminates shard queue operations.
+type opKind uint8
+
+const (
+	opEmbed opKind = iota
+	opRelease
+)
+
+// op is one unit of serialized shard work. Embeds carry the request and a
+// reply channel; releases carry the request ID.
+type op struct {
+	kind  opKind
+	req   workload.Request
+	id    int
+	reply chan result
+}
+
+// result is a shard's decision for one op.
+type result struct {
+	slot      int
+	accepted  bool
+	planned   bool
+	released  bool
+	cost      float64
+	nodes     []int
+	preempted []int
+	err       error
+}
+
+// shard owns one single-threaded engine plus its substrate state. All
+// engine access happens on the run goroutine; the HTTP layer communicates
+// through the bounded queue and reads only the atomic counters.
+type shard struct {
+	idx   int
+	eng   *core.Engine
+	st    *substrate.State
+	queue chan op
+	adv   chan int // departure-timer mailbox, capacity 1, latest slot wins
+
+	now     int     // virtual clock, owned by run()
+	baseRes float64 // Σ residual at construction (the shard's capacity slice)
+	hook    func(shard int)
+
+	// Counters read by /stats from other goroutines.
+	processed atomic.Int64
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	preempted atomic.Int64
+	released  atomic.Int64
+	active    atomic.Int64
+	utilBits  atomic.Uint64 // float64 bits of 1 - Σres/baseRes
+}
+
+func newShard(idx int, eng *core.Engine, st *substrate.State, depth int) *shard {
+	sh := &shard{
+		idx:   idx,
+		eng:   eng,
+		st:    st,
+		queue: make(chan op, depth),
+		adv:   make(chan int, 1),
+	}
+	for _, r := range st.ResidualVec() {
+		sh.baseRes += r
+	}
+	return sh
+}
+
+// tryAdvance delivers a departure-timer tick without blocking: the
+// mailbox holds one pending slot and advances are absolute, so dropping
+// a tick only delays releases until the next one.
+func (sh *shard) tryAdvance(slot int) {
+	select {
+	case sh.adv <- slot:
+	default:
+	}
+}
+
+// run is the shard loop: it serializes every engine interaction. It exits
+// when the queue is closed and drained (departure ticks may be dropped
+// from then on — the server is shutting down).
+func (sh *shard) run() {
+	for {
+		select {
+		case o, ok := <-sh.queue:
+			if !ok {
+				return
+			}
+			sh.handle(o)
+		case slot := <-sh.adv:
+			sh.advance(slot)
+			sh.refreshGauges()
+		}
+	}
+}
+
+// advance moves the virtual clock forward to slot (never backward),
+// releasing departures in between.
+func (sh *shard) advance(slot int) {
+	if slot > sh.now {
+		sh.now = slot
+		sh.eng.StartSlot(slot)
+	}
+}
+
+func (sh *shard) handle(o op) {
+	switch o.kind {
+	case opEmbed:
+		sh.handleEmbed(o)
+	case opRelease:
+		ok := sh.eng.ReleaseByID(o.id)
+		if ok {
+			sh.released.Add(1)
+		}
+		o.reply <- result{slot: sh.now, released: ok}
+	}
+	sh.refreshGauges()
+}
+
+func (sh *shard) handleEmbed(o op) {
+	if sh.hook != nil {
+		sh.hook(sh.idx)
+	}
+	// The request's Arrive field drives the virtual clock forward (in
+	// real-time mode the HTTP layer stamps it from the wall clock).
+	sh.advance(o.req.Arrive)
+	r := o.req
+	r.Arrive = sh.now // engine contract: requests arrive at the current slot
+
+	out, err := sh.eng.Process(r)
+	sh.processed.Add(1)
+	res := result{slot: sh.now, err: err}
+	if err == nil && out.Accepted {
+		sh.accepted.Add(1)
+		res.accepted = true
+		res.planned = out.Planned
+		res.cost = out.Emb.Cost(r.Demand)
+		res.nodes = make([]int, len(out.Emb.NodeMap))
+		for i, n := range out.Emb.NodeMap {
+			res.nodes[i] = int(n)
+		}
+		res.preempted = out.Preempted
+		sh.preempted.Add(int64(len(out.Preempted)))
+	} else {
+		sh.rejected.Add(1)
+	}
+	o.reply <- res
+}
+
+// refreshGauges republishes the active-count and utilization gauges after
+// every serialized operation.
+func (sh *shard) refreshGauges() {
+	sh.active.Store(int64(sh.eng.ActiveCount()))
+	var free float64
+	for _, r := range sh.st.ResidualVec() {
+		free += r
+	}
+	util := 0.0
+	if sh.baseRes > 0 {
+		util = 1 - free/sh.baseRes
+	}
+	sh.utilBits.Store(math.Float64bits(util))
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyRing keeps the most recent decision latencies for quantile
+// estimation. Fixed capacity: /stats cost is bounded no matter how long
+// the server runs.
+type latencyRing struct {
+	mu    sync.Mutex
+	buf   []time.Duration
+	next  int
+	total int64
+}
+
+func newLatencyRing(n int) *latencyRing {
+	return &latencyRing{buf: make([]time.Duration, 0, n)}
+}
+
+func (l *latencyRing) record(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, d)
+		return
+	}
+	l.buf[l.next] = d
+	l.next = (l.next + 1) % len(l.buf)
+}
+
+// quantiles returns the p50 and p99 of the retained window.
+func (l *latencyRing) quantiles() (p50, p99 time.Duration, samples int64) {
+	l.mu.Lock()
+	tmp := make([]time.Duration, len(l.buf))
+	copy(tmp, l.buf)
+	samples = l.total
+	l.mu.Unlock()
+	if len(tmp) == 0 {
+		return 0, 0, samples
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(tmp)-1))
+		return tmp[i]
+	}
+	return at(0.50), at(0.99), samples
+}
+
+func (s *Server) recordRevenue(v float64) {
+	s.revMu.Lock()
+	s.revenue += v
+	s.revMu.Unlock()
+}
+
+func (s *Server) readRevenue() float64 {
+	s.revMu.Lock()
+	defer s.revMu.Unlock()
+	return s.revenue
+}
+
+// ShardStats is one shard's /v1/stats entry.
+type ShardStats struct {
+	Shard     int   `json:"shard"`
+	Processed int64 `json:"processed"`
+	Accepted  int64 `json:"accepted"`
+	Rejected  int64 `json:"rejected"`
+	Active    int64 `json:"active"`
+	Queue     int   `json:"queue"`
+	QueueCap  int   `json:"queue_cap"`
+	// Utilization is the allocated fraction of this shard's capacity
+	// slice (1 − Σresidual/Σslice).
+	Utilization float64 `json:"utilization"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeS       float64 `json:"uptime_s"`
+	Shards        int     `json:"shards"`
+	Algorithm     string  `json:"algorithm"`
+	Deterministic bool    `json:"deterministic"`
+
+	Requests struct {
+		Total          int64   `json:"total"`
+		Accepted       int64   `json:"accepted"`
+		Rejected       int64   `json:"rejected"`
+		Preempted      int64   `json:"preempted"`
+		Released       int64   `json:"released"`
+		AcceptanceRate float64 `json:"acceptance_rate"`
+	} `json:"requests"`
+
+	// Revenue is Σ demand·duration over accepted requests (the VNE
+	// revenue proxy; preemptions are not clawed back).
+	Revenue float64 `json:"revenue"`
+
+	Latency struct {
+		P50US   int64 `json:"p50_us"`
+		P99US   int64 `json:"p99_us"`
+		Samples int64 `json:"samples"`
+	} `json:"latency"`
+
+	PerShard []ShardStats `json:"per_shard"`
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() StatsResponse {
+	var out StatsResponse
+	out.UptimeS = time.Since(s.started).Seconds()
+	out.Shards = len(s.shards)
+	out.Algorithm = string(s.opts.Algorithm)
+	out.Deterministic = s.opts.Deterministic
+	for _, sh := range s.shards {
+		ss := ShardStats{
+			Shard:       sh.idx,
+			Processed:   sh.processed.Load(),
+			Accepted:    sh.accepted.Load(),
+			Rejected:    sh.rejected.Load(),
+			Active:      sh.active.Load(),
+			Queue:       len(sh.queue),
+			QueueCap:    cap(sh.queue),
+			Utilization: math.Float64frombits(sh.utilBits.Load()),
+		}
+		out.PerShard = append(out.PerShard, ss)
+		out.Requests.Total += ss.Processed
+		out.Requests.Accepted += ss.Accepted
+		out.Requests.Rejected += ss.Rejected
+		out.Requests.Preempted += sh.preempted.Load()
+		out.Requests.Released += sh.released.Load()
+	}
+	if out.Requests.Total > 0 {
+		out.Requests.AcceptanceRate = float64(out.Requests.Accepted) / float64(out.Requests.Total)
+	}
+	out.Revenue = s.readRevenue()
+	p50, p99, n := s.lat.quantiles()
+	out.Latency.P50US = p50.Microseconds()
+	out.Latency.P99US = p99.Microseconds()
+	out.Latency.Samples = n
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

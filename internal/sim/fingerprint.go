@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/olive-vne/olive/internal/core"
+	"github.com/olive-vne/olive/internal/topo"
+)
+
+// GoldenConfig is one entry of the golden-fingerprint determinism suite:
+// a named simulation configuration whose fingerprint is committed under
+// testdata/golden/ and re-derived by CI on every change.
+type GoldenConfig struct {
+	Name   string
+	Config Config
+}
+
+// allAlgorithms is the full evaluation set the golden suite runs.
+var allAlgorithms = []core.Algorithm{
+	core.AlgoOLIVE, core.AlgoQuickG, core.AlgoFullG, core.AlgoSlotOff,
+}
+
+// GoldenConfigs returns the 5-config × 4-algorithm smoke suite. The
+// configs deliberately cover the features whose refactors historically
+// needed hand-run pre/post fingerprint diffs: the default MMPP path, the
+// CAIDA trace with windowed (time-varying) plans, the GPU substrate
+// variant, the borrowing ablation, and the shuffled-plan spatial
+// stressor — each exercising all four algorithms at quick scale.
+func GoldenConfigs() []GoldenConfig {
+	mk := func(t topo.Name, util float64, seed uint64) Config {
+		c := QuickConfig(t, util, seed)
+		c.Algorithms = append([]core.Algorithm(nil), allAlgorithms...)
+		return c
+	}
+	caida := mk(topo.CittaStudi, 1.2, 2)
+	caida.Trace = TraceCAIDA
+	caida.DiurnalPeriod = 60
+	caida.PlanWindows = 4
+	gpu := mk(topo.Iris, 1.0, 3)
+	gpu.GPU = true // GPU substrate variant + uniform GPU-chain app set
+	noborrow := mk(topo.Random100, 1.4, 6)
+	noborrow.EngineOptions.DisableBorrowing = true
+	shuffled := mk(topo.FiveGEN, 0.8, 5)
+	shuffled.ShufflePlanIngress = true
+	return []GoldenConfig{
+		{Name: "iris-mmpp-u100", Config: mk(topo.Iris, 1.0, 1)},
+		{Name: "cittastudi-caida-windowed", Config: caida},
+		{Name: "iris-gpu-u100", Config: gpu},
+		{Name: "random100-noborrow-u140", Config: noborrow},
+		{Name: "5gen-shuffled-u80", Config: shuffled},
+	}
+}
+
+// Fingerprint runs one configuration and renders a canonical, bit-exact
+// digest of everything deterministic about it: per-algorithm headline
+// metrics as raw float64 bits, and a SHA-256 over the full per-request
+// log and per-slot demand series. Wall-clock metrics (Runtime, PlanTime)
+// are excluded by nature. Two runs — any worker count, any machine with
+// the same float semantics (the committed goldens are amd64) — must
+// produce identical strings, so `diff` is the whole verification.
+func Fingerprint(cfg Config) (string, error) {
+	rr, err := Run(cfg)
+	if err != nil {
+		return "", err
+	}
+	bits := func(f float64) string { return fmt.Sprintf("%016x", math.Float64bits(f)) }
+	var sb strings.Builder
+	for _, algo := range rr.Config.Algorithms {
+		ar := rr.Results[algo]
+		fmt.Fprintf(&sb, "algo %s\n", algo)
+		fmt.Fprintf(&sb, "  rejection_rate %s\n", bits(ar.RejectionRate))
+		fmt.Fprintf(&sb, "  resource_cost %s\n", bits(ar.ResourceCost))
+		fmt.Fprintf(&sb, "  rejection_cost %s\n", bits(ar.RejectionCost))
+		fmt.Fprintf(&sb, "  total_cost %s\n", bits(ar.TotalCost))
+		fmt.Fprintf(&sb, "  balance_index %s\n", bits(ar.BalanceIndex))
+		h := sha256.New()
+		for i := range ar.Log {
+			rec := &ar.Log[i]
+			fmt.Fprintf(h, "%d %d %d %d %d %016x %t %t %t %d\n",
+				rec.ID, rec.App, rec.Ingress, rec.Arrive, rec.Duration,
+				math.Float64bits(rec.Demand), rec.Accepted, rec.Planned,
+				rec.Preempted, rec.PreemptSlot)
+		}
+		for t := range ar.PerSlotRequested {
+			fmt.Fprintf(h, "slot %d %016x %016x\n", t,
+				math.Float64bits(ar.PerSlotRequested[t]),
+				math.Float64bits(ar.PerSlotAccepted[t]))
+		}
+		fmt.Fprintf(&sb, "  requests %d\n", len(ar.Log))
+		fmt.Fprintf(&sb, "  stream_sha256 %x\n", h.Sum(nil))
+	}
+	return sb.String(), nil
+}

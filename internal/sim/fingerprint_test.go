@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/olive-vne/olive/internal/topo"
+)
+
+// TestGoldenConfigsShape pins the suite's contract: 5 configs, unique
+// names (they key the testdata/golden files), all four algorithms each.
+func TestGoldenConfigsShape(t *testing.T) {
+	gcs := GoldenConfigs()
+	if len(gcs) != 5 {
+		t.Fatalf("suite has %d configs, want 5", len(gcs))
+	}
+	seen := map[string]bool{}
+	for _, gc := range gcs {
+		if gc.Name == "" || seen[gc.Name] {
+			t.Fatalf("config name %q empty or duplicated", gc.Name)
+		}
+		seen[gc.Name] = true
+		if len(gc.Config.Algorithms) != 4 {
+			t.Fatalf("%s runs %d algorithms, want 4", gc.Name, len(gc.Config.Algorithms))
+		}
+	}
+}
+
+// TestFingerprintDeterministic runs one cheap config twice and requires
+// identical fingerprints — the property the golden CI job is built on.
+func TestFingerprintDeterministic(t *testing.T) {
+	cfg := QuickConfig(topo.CittaStudi, 1.0, 9)
+	cfg.HistSlots = 80
+	cfg.OnlineSlots = 30
+	a, err := Fingerprint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fingerprint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("fingerprints differ:\n%s\nvs\n%s", a, b)
+	}
+	for _, want := range []string{"algo OLIVE", "rejection_rate", "stream_sha256"} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("fingerprint lacks %q:\n%s", want, a)
+		}
+	}
+}

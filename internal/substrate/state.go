@@ -191,6 +191,17 @@ func (s *State) Fits(e *vnet.Embedding, d float64) bool { return e.FitsResidual(
 // Engine.Residual for the defensive-copy boundary.
 func (s *State) ResidualVec() []float64 { return s.res }
 
+// ScaleResidual multiplies every residual capacity by f. The serving
+// layer partitions the substrate across engine shards with it: each
+// shard's state starts at capacity/N so the shards' admissions cannot
+// jointly oversubscribe a physical element. Prices and the path cache
+// are unaffected.
+func (s *State) ScaleResidual(f float64) {
+	for i := range s.res {
+		s.res[i] *= f
+	}
+}
+
 // Apply subtracts demand d of embedding e from the residual vector.
 func (s *State) Apply(e *vnet.Embedding, d float64) { e.Apply(s.res, d) }
 

@@ -72,6 +72,7 @@ import (
 	"github.com/olive-vne/olive/internal/plan"
 	"github.com/olive-vne/olive/internal/runner"
 	"github.com/olive-vne/olive/internal/scenario"
+	"github.com/olive-vne/olive/internal/serve"
 	"github.com/olive-vne/olive/internal/sim"
 	"github.com/olive-vne/olive/internal/substrate"
 	"github.com/olive-vne/olive/internal/topo"
@@ -472,6 +473,36 @@ func LookupScenario(name string) (*Scenario, bool) { return scenario.Lookup(name
 // ScenarioNames lists the registered scenarios (every paper figure and
 // table, plus anything added through RegisterScenario), sorted.
 func ScenarioNames() []string { return scenario.Names() }
+
+// ---- Online serving (vnesimd) ----
+
+type (
+	// Server is the online embedding service: a sharded engine pool
+	// behind an HTTP/JSON API. Each shard owns an independent
+	// SubstrateState (1/N of every element's capacity), an EmbedOracle
+	// and an Engine; a deterministic ingress→shard router serializes all
+	// requests of one ingress onto one shard. See cmd/vnesimd for the
+	// daemon.
+	Server = serve.Server
+	// ServerOptions configures a Server: shard count, queue depth (full
+	// queues answer 429), algorithm, slot duration, and the
+	// deterministic virtual-clock mode CI leans on.
+	ServerOptions = serve.Options
+	// ServerStats is the GET /v1/stats payload: acceptance rate,
+	// revenue, p50/p99 decision latency and per-shard utilization.
+	ServerStats = serve.StatsResponse
+	// ServeEmbedRequest is the POST /v1/embed request body.
+	ServeEmbedRequest = serve.EmbedRequest
+	// ServeEmbedResponse is the accept/reject decision for one request.
+	ServeEmbedResponse = serve.EmbedResponse
+)
+
+// NewServer builds an online embedding server over g and apps. Expose its
+// Handler on an http.Server; stop it with Drain (new requests get 503,
+// admitted ones still receive their decision).
+func NewServer(g *Substrate, apps []*App, opts ServerOptions) (*Server, error) {
+	return serve.New(g, apps, opts)
+}
 
 // ---- Persistence ----
 

@@ -2,8 +2,13 @@ package olive_test
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	olive "github.com/olive-vne/olive"
 )
@@ -272,5 +277,51 @@ func TestPublicAPIScenarios(t *testing.T) {
 	}
 	if err := olive.RegisterScenario(loaded); err == nil {
 		t.Fatal("duplicate public registration accepted")
+	}
+}
+
+// TestPublicAPIServer exercises the online serving surface: accept a
+// request over HTTP, read stats, drain gracefully.
+func TestPublicAPIServer(t *testing.T) {
+	g := olive.BuildTopology(olive.TopoIris, 1)
+	apps := olive.DefaultAppMix(rand.New(rand.NewPCG(7, 7)))
+	s, err := olive.NewServer(g, apps, olive.ServerOptions{Shards: 2, Deterministic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(olive.ServeEmbedRequest{App: 0, Ingress: 0, Demand: 1, Duration: 5})
+	resp, err := http.Post(ts.URL+"/v1/embed", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out olive.ServeEmbedResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !out.Accepted {
+		t.Fatalf("embed = %d accepted=%v, want 200 accepted", resp.StatusCode, out.Accepted)
+	}
+
+	var st olive.ServerStats
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.Requests.Total != 1 || st.Requests.Accepted != 1 || st.Shards != 2 {
+		t.Fatalf("stats = %+v, want 1 processed 1 accepted over 2 shards", st.Requests)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
 	}
 }
