@@ -33,7 +33,14 @@ type SlotOff struct {
 
 // SlotOffOptions tunes the per-slot LP. Pricing rounds are kept small:
 // SLOTOFF solves one LP per slot, and the paper only requires it to be a
-// strong (near-optimal) reference.
+// strong (near-optimal) reference. The shared Solver's warm starts and
+// solution-support column pool matter here: pooled columns are ordinary
+// candidate embeddings for the *current* slot's instance (each slot's LP
+// still optimizes only that slot), so carrying them across slots moves
+// two truncated pricing rounds much closer to the per-slot optimum the
+// paper's CPLEX-backed SLOTOFF represents — without them this baseline
+// re-seeded from scratch each slot and was systematically weaker than
+// its definition intends.
 func SlotOffOptions() plan.Options {
 	o := plan.DefaultOptions()
 	o.MaxPricingRounds = 2

@@ -1,0 +1,480 @@
+package lp
+
+import "math"
+
+// This file implements the sparse linear algebra behind the revised
+// simplex: an LU factorization of the m×m basis matrix with Markowitz
+// pivot ordering under threshold partial pivoting, forward/backward
+// solves (FTRAN/BTRAN), and a product-form eta file so a pivot costs
+// O(nnz) instead of the O(m²) a dense inverse update paid. The
+// factorization also *reports* rank deficiency instead of failing: a
+// dependent basis can be repaired (see simplex.repairBasis) rather than
+// aborting the solve.
+
+// spEntry is one nonzero of a sparse vector.
+type spEntry struct {
+	idx int
+	val float64
+}
+
+// eta is one product-form update. Replacing the basis column at position
+// r by an entering column with FTRAN image w multiplies the basis by the
+// elementary matrix E = I with column r replaced by w; the eta stores w
+// split into its pivot w_r and the remaining nonzeros.
+type eta struct {
+	r     int
+	pivot float64
+	ents  []spEntry
+}
+
+// Factorization tolerances and update policy.
+const (
+	// luPivotTol is the absolute magnitude below which a candidate pivot
+	// is treated as zero; a column whose remaining entries are all below
+	// it is reported as dependent.
+	luPivotTol = 1e-10
+	// luThreshold is the Markowitz threshold u: an entry qualifies as a
+	// pivot only if |a_ij| ≥ u·max|a_·j|, trading a bounded growth factor
+	// for sparsity in the usual way.
+	luThreshold = 0.1
+	// maxEtas bounds the eta file; beyond it a refactorization is cheaper
+	// than the ever-longer FTRAN/BTRAN passes and contains drift.
+	maxEtas = 64
+	// etaWeakTol flags an update whose pivot is small relative to the
+	// spike's largest entry — the classic trigger for inverse drift and
+	// the root cause of the "singular basis during refactorization"
+	// failures the dense code hit.
+	etaWeakTol = 1e-9
+)
+
+// basisLU is a sparse LU factorization of the basis, B = Pᵀ·L·U·Q with P
+// the row permutation (prow) and Q the basis-position permutation (pcol),
+// plus the eta file of pivot updates applied since the last
+// refactorization.
+type basisLU struct {
+	m int
+
+	prow    []int // prow[k]: matrix row pivoted at elimination step k
+	pcol    []int // pcol[k]: basis position pivoted at step k
+	rowStep []int // inverse of prow
+
+	// L as multiplier ops in elimination order: op t (for lstart[k] ≤ t <
+	// lstart[k+1]) subtracts lmult[t]·(pivot row k) from row lrow[t].
+	lstart []int
+	lrow   []int
+	lmult  []float64
+
+	// U rows in elimination-step space: row k holds udiag[k] on the
+	// diagonal and off-diagonal entries (ucol[t], uval[t]) with ucol[t] > k.
+	ustart []int
+	ucol   []int
+	uval   []float64
+	udiag  []float64
+
+	etas []eta
+
+	ywork []float64 // scratch, matrix-row space
+	zwork []float64 // scratch, step space
+}
+
+// factorBasis factors the basis given by cols[basis[0..m-1]]. On success
+// it returns the factorization and nil slices. If the basis is
+// numerically rank-deficient it returns lu == nil plus the dependent
+// basis positions and the rows left unpivoted — aligned sets the caller
+// can repair by substituting each position with a logical (slack or
+// artificial) column of one of the rows.
+func factorBasis(m int, cols [][]Entry, basis []int) (lu *basisLU, depPos, depRows []int) {
+	// Working rows: rows[i] holds (basis position, value), sorted by
+	// position. Every loop below iterates deterministically — factor
+	// results must be bit-reproducible run to run.
+	rows := make([][]spEntry, m)
+	for pos, j := range basis {
+		for _, e := range cols[j] {
+			rows[e.Row] = append(rows[e.Row], spEntry{pos, e.Coef})
+		}
+	}
+	for i := range rows {
+		sortEntries(rows[i])
+	}
+	rowActive := make([]bool, m)
+	colActive := make([]bool, m)
+	for i := 0; i < m; i++ {
+		rowActive[i], colActive[i] = true, true
+	}
+	// colRows[c] lists rows that (may) hold an entry in position c:
+	// fill-in appends, cancellation leaves stale entries that are
+	// re-validated at use.
+	colRows := make([][]int, m)
+	for i, r := range rows {
+		for _, e := range r {
+			colRows[e.idx] = append(colRows[e.idx], i)
+		}
+	}
+
+	lu = &basisLU{
+		m:      m,
+		prow:   make([]int, 0, m),
+		pcol:   make([]int, 0, m),
+		lstart: make([]int, 1, m+1),
+		ustart: make([]int, 1, m+1),
+		udiag:  make([]float64, 0, m),
+	}
+	// uposcol mirrors ucol but in basis-position space during
+	// elimination; converted to step space once the permutation is known.
+	var uposcol []int
+
+	colMax := make([]float64, m)
+	colCnt := make([]int, m)
+	rowCnt := make([]int, m)
+	seen := make([]int, m) // per-elimination visit stamps for colRows
+	for i := range seen {
+		seen[i] = -1
+	}
+	activeCols := m
+
+	for step := 0; activeCols > 0; step++ {
+		// Pass A: per-column max magnitude and count over active entries,
+		// and per-row active-entry counts, for the Markowitz score.
+		for c := 0; c < m; c++ {
+			if colActive[c] {
+				colMax[c], colCnt[c] = 0, 0
+			}
+		}
+		for i := 0; i < m; i++ {
+			if !rowActive[i] {
+				continue
+			}
+			n := 0
+			for _, e := range rows[i] {
+				if !colActive[e.idx] {
+					continue
+				}
+				n++
+				colCnt[e.idx]++
+				if a := math.Abs(e.val); a > colMax[e.idx] {
+					colMax[e.idx] = a
+				}
+			}
+			rowCnt[i] = n
+		}
+		// Columns with no usable pivot are dependent: report, drop, and
+		// keep factoring the rest so one pass finds the whole deficiency.
+		for c := 0; c < m; c++ {
+			if colActive[c] && colMax[c] < luPivotTol {
+				colActive[c] = false
+				activeCols--
+				depPos = append(depPos, c)
+			}
+		}
+		if activeCols == 0 {
+			break
+		}
+		// Pass B: pick the admissible entry minimizing the Markowitz
+		// fill-in bound (r−1)(c−1); ties go to the larger magnitude,
+		// then first in scan order (ascending row, ascending position).
+		bestScore := math.MaxInt
+		bestVal := 0.0
+		pivRowI, pivColI := -1, -1
+		for i := 0; i < m; i++ {
+			if !rowActive[i] {
+				continue
+			}
+			for _, e := range rows[i] {
+				c := e.idx
+				if !colActive[c] {
+					continue
+				}
+				a := math.Abs(e.val)
+				if a < luPivotTol || a < luThreshold*colMax[c] {
+					continue
+				}
+				score := (rowCnt[i] - 1) * (colCnt[c] - 1)
+				if score < bestScore || (score == bestScore && a > bestVal) {
+					bestScore, bestVal = score, a
+					pivRowI, pivColI = i, c
+				}
+			}
+		}
+		// Unreachable in principle (every live column's max qualifies),
+		// but guard against it becoming an infinite loop.
+		if pivRowI < 0 {
+			for c := 0; c < m; c++ {
+				if colActive[c] {
+					colActive[c] = false
+					activeCols--
+					depPos = append(depPos, c)
+				}
+			}
+			break
+		}
+
+		lu.prow = append(lu.prow, pivRowI)
+		lu.pcol = append(lu.pcol, pivColI)
+		pivRow := rows[pivRowI]
+		pivVal := entryVal(pivRow, pivColI)
+
+		// Eliminate position pivColI from every other active row holding
+		// it, recording the multipliers as L ops of step k.
+		for _, i := range colRows[pivColI] {
+			if i == pivRowI || !rowActive[i] || seen[i] == step {
+				continue
+			}
+			seen[i] = step
+			v, ok := entryLookup(rows[i], pivColI)
+			if !ok {
+				continue // stale colRows entry
+			}
+			f := v / pivVal
+			lu.lrow = append(lu.lrow, i)
+			lu.lmult = append(lu.lmult, f)
+			rows[i] = rowSub(rows[i], pivRow, f, pivColI, func(c int) {
+				colRows[c] = append(colRows[c], i)
+			})
+		}
+		lu.lstart = append(lu.lstart, len(lu.lrow))
+
+		// Record the U row (off-diagonal entries still in position
+		// space; mapped to steps after the permutation is complete).
+		lu.udiag = append(lu.udiag, pivVal)
+		for _, e := range pivRow {
+			if e.idx != pivColI {
+				uposcol = append(uposcol, e.idx)
+				lu.uval = append(lu.uval, e.val)
+			}
+		}
+		lu.ustart = append(lu.ustart, len(lu.uval))
+
+		rowActive[pivRowI] = false
+		colActive[pivColI] = false
+		activeCols--
+	}
+
+	if len(depPos) > 0 {
+		for i := 0; i < m; i++ {
+			if rowActive[i] {
+				depRows = append(depRows, i)
+			}
+		}
+		return nil, depPos, depRows
+	}
+
+	// Finalize: permutation inverses and U columns in step space.
+	lu.rowStep = make([]int, m)
+	colStep := make([]int, m)
+	for k, r := range lu.prow {
+		lu.rowStep[r] = k
+	}
+	for k, c := range lu.pcol {
+		colStep[c] = k
+	}
+	lu.ucol = make([]int, len(uposcol))
+	for t, c := range uposcol {
+		lu.ucol[t] = colStep[c]
+	}
+	lu.ywork = make([]float64, m)
+	lu.zwork = make([]float64, m)
+	return lu, nil, nil
+}
+
+// sortEntries sorts a sparse row by position (insertion sort: rows are
+// short and nearly sorted).
+func sortEntries(r []spEntry) {
+	for i := 1; i < len(r); i++ {
+		for j := i; j > 0 && r[j].idx < r[j-1].idx; j-- {
+			r[j], r[j-1] = r[j-1], r[j]
+		}
+	}
+}
+
+// entryVal returns the value at position c of a sorted sparse row
+// (which must be present).
+func entryVal(r []spEntry, c int) float64 {
+	v, _ := entryLookup(r, c)
+	return v
+}
+
+// entryLookup binary-searches a sorted sparse row for position c.
+func entryLookup(r []spEntry, c int) (float64, bool) {
+	lo, hi := 0, len(r)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case r[mid].idx < c:
+			lo = mid + 1
+		case r[mid].idx > c:
+			hi = mid
+		default:
+			return r[mid].val, true
+		}
+	}
+	return 0, false
+}
+
+// rowSub returns dst − f·src, skipping position skip (which cancels
+// exactly) and dropping exact zeros; fill is called for every position
+// newly introduced into the row.
+func rowSub(dst, src []spEntry, f float64, skip int, fill func(int)) []spEntry {
+	out := make([]spEntry, 0, len(dst)+len(src))
+	i, j := 0, 0
+	for i < len(dst) || j < len(src) {
+		switch {
+		case j >= len(src) || (i < len(dst) && dst[i].idx < src[j].idx):
+			if dst[i].idx != skip {
+				out = append(out, dst[i])
+			}
+			i++
+		case i >= len(dst) || src[j].idx < dst[i].idx:
+			if src[j].idx != skip {
+				if v := -f * src[j].val; v != 0 {
+					out = append(out, spEntry{src[j].idx, v})
+					fill(src[j].idx)
+				}
+			}
+			j++
+		default: // same position
+			if dst[i].idx != skip {
+				if v := dst[i].val - f*src[j].val; v != 0 {
+					out = append(out, spEntry{dst[i].idx, v})
+				}
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// ftranCol solves B·w = a for a sparse column a, leaving w (length m,
+// basis-position space) fully overwritten.
+func (lu *basisLU) ftranCol(col []Entry, w []float64) {
+	y := lu.ywork
+	for i := range y {
+		y[i] = 0
+	}
+	for _, e := range col {
+		y[e.Row] = e.Coef
+	}
+	lu.ftranWork(w)
+}
+
+// ftranDense solves B·w = rhs for a dense right-hand side in matrix-row
+// space. rhs is not modified.
+func (lu *basisLU) ftranDense(rhs []float64, w []float64) {
+	copy(lu.ywork, rhs)
+	lu.ftranWork(w)
+}
+
+// ftranWork completes an FTRAN whose right-hand side has been loaded
+// into ywork: L solve, U back-substitution, permutation, eta file.
+func (lu *basisLU) ftranWork(w []float64) {
+	y, z := lu.ywork, lu.zwork
+	m := lu.m
+	for k := 0; k < m; k++ {
+		v := y[lu.prow[k]]
+		if v == 0 {
+			continue
+		}
+		for t := lu.lstart[k]; t < lu.lstart[k+1]; t++ {
+			y[lu.lrow[t]] -= lu.lmult[t] * v
+		}
+	}
+	for k := m - 1; k >= 0; k-- {
+		v := y[lu.prow[k]]
+		for t := lu.ustart[k]; t < lu.ustart[k+1]; t++ {
+			v -= lu.uval[t] * z[lu.ucol[t]]
+		}
+		z[k] = v / lu.udiag[k]
+	}
+	for k := 0; k < m; k++ {
+		w[lu.pcol[k]] = z[k]
+	}
+	for idx := range lu.etas {
+		e := &lu.etas[idx]
+		t := w[e.r] / e.pivot
+		if t != 0 {
+			for _, s := range e.ents {
+				w[s.idx] -= s.val * t
+			}
+		}
+		w[e.r] = t
+	}
+}
+
+// btran solves Bᵀ·y = c for c in basis-position space (c[i] pairs with
+// the basis column at position i), leaving y in matrix-row space. c is
+// not modified.
+func (lu *basisLU) btran(c []float64, y []float64) {
+	m := lu.m
+	z := lu.zwork
+	copy(z, c)
+	// Eta file, reversed and transposed.
+	for idx := len(lu.etas) - 1; idx >= 0; idx-- {
+		e := &lu.etas[idx]
+		s := z[e.r]
+		for _, en := range e.ents {
+			s -= en.val * z[en.idx]
+		}
+		z[e.r] = s / e.pivot
+	}
+	// Ūᵀ·v = c̄ (forward, scattering each resolved v[k] into later steps).
+	v := lu.ywork
+	for k := 0; k < m; k++ {
+		v[k] = z[lu.pcol[k]]
+	}
+	for k := 0; k < m; k++ {
+		v[k] /= lu.udiag[k]
+		vk := v[k]
+		if vk == 0 {
+			continue
+		}
+		for t := lu.ustart[k]; t < lu.ustart[k+1]; t++ {
+			v[lu.ucol[t]] -= lu.uval[t] * vk
+		}
+	}
+	// L̄ᵀ·t = v (backward; ops of step k reference rows pivoted later, so
+	// the in-place sweep reads only finalized values).
+	for k := m - 1; k >= 0; k-- {
+		s := v[k]
+		for t := lu.lstart[k]; t < lu.lstart[k+1]; t++ {
+			s -= lu.lmult[t] * v[lu.rowStep[lu.lrow[t]]]
+		}
+		v[k] = s
+	}
+	for k := 0; k < m; k++ {
+		y[lu.prow[k]] = v[k]
+	}
+}
+
+// nEtas reports how many pivot updates have accumulated since the last
+// refactorization.
+func (lu *basisLU) nEtas() int { return len(lu.etas) }
+
+// update appends the product-form eta for a pivot replacing basis
+// position r, whose entering column has FTRAN image w. It reports
+// whether the factorization is still healthy; false asks the caller to
+// refactorize now (eta file full, or the pivot is weak relative to the
+// spike and would poison every subsequent solve).
+func (lu *basisLU) update(r int, w []float64) bool {
+	piv := w[r]
+	maxw := 0.0
+	n := 0
+	for i, v := range w {
+		if v == 0 {
+			continue
+		}
+		if a := math.Abs(v); a > maxw {
+			maxw = a
+		}
+		if i != r {
+			n++
+		}
+	}
+	ents := make([]spEntry, 0, n)
+	for i, v := range w {
+		if i != r && v != 0 {
+			ents = append(ents, spEntry{i, v})
+		}
+	}
+	lu.etas = append(lu.etas, eta{r: r, pivot: piv, ents: ents})
+	return len(lu.etas) < maxEtas && math.Abs(piv) > etaWeakTol*maxw
+}

@@ -1,6 +1,8 @@
 // Package lp implements a sparse linear-programming solver — a two-phase
-// revised primal simplex with bounded variables and a dense basis inverse.
-// It stands in for the CPLEX solver used in the paper (DESIGN.md §3): it
+// revised primal simplex with bounded variables over a sparse LU
+// factorization of the basis (Markowitz-ordered with threshold partial
+// pivoting, product-form eta updates, periodic refactorization). It
+// stands in for the CPLEX solver used in the paper (DESIGN.md §3): it
 // solves the PLAN-VNE relaxation (Fig. 4) and the per-slot offline
 // instances of the SLOTOFF baseline, and exposes dual prices so the plan
 // builder can run Dantzig–Wolfe column generation.
@@ -10,6 +12,10 @@
 //	minimize    cᵀx
 //	subject to  Ax {≤,=,≥} b   (per-row sense)
 //	            lo ≤ x ≤ up    (per-variable bounds, up may be +Inf)
+//
+// Repeated, closely related solves — column-generation rounds, SLOTOFF's
+// per-slot re-optimizations — can reuse the final basis of one solve as
+// the starting point of the next via Solution.Basis and Problem.SolveFrom.
 //
 // The solver is exact up to floating-point tolerances and is sized for the
 // instances of this reproduction (hundreds of rows, thousands of columns).
@@ -85,7 +91,10 @@ func (p *Problem) AddRow(sense Sense, rhs float64) int {
 
 // AddVar appends a variable with the given objective cost, bounds and
 // sparse column, returning its index. Bounds must satisfy lo ≤ up, lo
-// finite; up may be +Inf. Entries must reference existing rows.
+// finite; up may be +Inf. Entries must reference existing rows; entries
+// naming the same row are merged by summing their coefficients, so the
+// stored column always has one entry per row (an invariant the sparse
+// solves rely on).
 func (p *Problem) AddVar(cost, lo, up float64, entries []Entry) (int, error) {
 	if math.IsInf(lo, 0) || math.IsNaN(lo) || math.IsNaN(up) || lo > up {
 		return 0, fmt.Errorf("lp: invalid bounds [%g,%g]", lo, up)
@@ -95,10 +104,21 @@ func (p *Problem) AddVar(cost, lo, up float64, entries []Entry) (int, error) {
 			return 0, fmt.Errorf("lp: entry references row %d of %d", e.Row, len(p.rhs))
 		}
 	}
+	col := make([]Entry, 0, len(entries))
+merge:
+	for _, e := range entries {
+		for i := range col {
+			if col[i].Row == e.Row {
+				col[i].Coef += e.Coef
+				continue merge
+			}
+		}
+		col = append(col, e)
+	}
 	p.cost = append(p.cost, cost)
 	p.lo = append(p.lo, lo)
 	p.up = append(p.up, up)
-	p.cols = append(p.cols, append([]Entry(nil), entries...))
+	p.cols = append(p.cols, col)
 	p.numVars++
 	return p.numVars - 1, nil
 }
@@ -119,6 +139,29 @@ func (p *Problem) NumRows() int { return len(p.rhs) }
 // NumVars returns the number of variables added so far.
 func (p *Problem) NumVars() int { return p.numVars }
 
+// VarStatus is a variable's role in a basis snapshot.
+type VarStatus int8
+
+// Basis statuses. The zero value is StatusLower, so a zero-filled
+// snapshot is a valid (all-nonbasic) warm start.
+const (
+	StatusLower VarStatus = iota // nonbasic at lower bound
+	StatusUpper                  // nonbasic at upper bound
+	StatusBasic                  // basic
+)
+
+// Basis is a warm-start snapshot of a simplex basis: one status per
+// structural variable, and one per row for the row's logical
+// (slack/artificial) column. Snapshots taken from a Solution may be
+// replayed by SolveFrom on the same problem or on a grown one —
+// variables and rows added after the snapshot default to nonbasic at
+// lower bound and logical-basic respectively, which is exactly right
+// for column generation.
+type Basis struct {
+	Vars []VarStatus
+	Rows []VarStatus
+}
+
 // Solution is the result of Solve.
 type Solution struct {
 	Status Status
@@ -133,7 +176,13 @@ type Solution struct {
 	Dual []float64
 	// Iterations counts simplex pivots across both phases.
 	Iterations int
+
+	basis *Basis
 }
+
+// Basis returns the final basis as a warm-start snapshot for SolveFrom,
+// or nil if the solve did not reach optimality.
+func (s *Solution) Basis() *Basis { return s.basis }
 
 // numerical tolerances
 const (
@@ -149,129 +198,87 @@ const maxIterFactor = 200 // iteration cap: maxIterFactor · (m + n)
 // trouble.
 var ErrIterationLimit = errors.New("lp: iteration limit exceeded")
 
-// variable status within the simplex
-type vstat uint8
-
-const (
-	atLower vstat = iota
-	atUpper
-	basic
-)
-
-// simplex carries the working state of one solve.
-type simplex struct {
-	m int // rows
-	n int // total columns (structural + slack + artificial)
-
-	cost   []float64 // phase-2 costs
-	lo, up []float64
-	cols   [][]Entry
-	rhs    []float64
-
-	nStruct int // structural column count
-	nSlack  int // slack column count
-	artBase int // first artificial column index
-
-	status []vstat
-	basis  []int     // basis[i] = column basic in row i
-	xB     []float64 // values of basic variables
-	xN     []float64 // value of every column when nonbasic (its bound)
-	binv   []float64 // dense m×m basis inverse, row-major
-
-	iters int
-}
-
-// Solve runs the two-phase simplex and returns the solution. The problem
-// may be reused (Solve does not mutate it). If the basis degenerates into
-// numerical singularity, the solve is retried once with a deterministic
-// relative cost perturbation of ~1e-10, which breaks the tie pattern that
-// led there while moving the optimum negligibly.
-func (p *Problem) Solve() (*Solution, error) {
-	sol, err := p.solveOnce(0)
-	if err != nil && errors.Is(err, errSingular) {
-		sol, err = p.solveOnce(1e-10)
-	}
-	return sol, err
-}
-
-// errSingular marks an unrecoverable-by-iteration basis state.
+// errSingular marks a basis state that LU repair could not recover.
 var errSingular = errors.New("lp: singular basis during refactorization")
+
+// errWarmStart marks a warm-start snapshot that could not seed a
+// feasible starting basis; the caller falls back to a cold solve.
+var errWarmStart = errors.New("lp: warm-start basis unusable")
 
 // weakPivot is the magnitude below which a pivot is considered a threat to
 // basis conditioning.
 const weakPivot = 1e-7
 
-func (p *Problem) solveOnce(perturb float64) (*Solution, error) {
+// Solve runs the two-phase simplex and returns the solution. The problem
+// may be reused (Solve does not mutate it). Numerically dependent bases
+// are repaired in place (dependent columns are replaced by slacks); if
+// repair fails, the solve is retried once with a deterministic additive
+// cost perturbation of ~1e-10·max|c|, which breaks the tie pattern that
+// led there while moving the optimum negligibly.
+func (p *Problem) Solve() (*Solution, error) {
+	sol, err := p.solveOnce(0, nil)
+	if err != nil && errors.Is(err, errSingular) {
+		sol, err = p.solveOnce(1e-10, nil)
+	}
+	return sol, err
+}
+
+// SolveFrom runs the simplex warm-started from a prior basis snapshot.
+// When the snapshot still describes a primal-feasible vertex — the
+// common case across column-generation rounds and per-slot
+// re-optimizations, where consecutive LPs differ by a few columns —
+// phase 1 is skipped entirely and the solve typically needs a small
+// fraction of the pivots of a cold start. Any warm-path failure — an
+// unusable snapshot, a singularity repair that could not restore
+// feasibility, even an iteration stall from a pathological warm vertex
+// — silently falls back to a cold Solve, so SolveFrom never does worse
+// than Solve by more than the failed warm attempt.
+func (p *Problem) SolveFrom(b *Basis) (*Solution, error) {
+	if b != nil {
+		if sol, err := p.solveOnce(0, b); err == nil {
+			return sol, nil
+		}
+	}
+	return p.Solve()
+}
+
+func (p *Problem) solveOnce(perturb float64, warm *Basis) (*Solution, error) {
 	m := len(p.rhs)
 	if m == 0 || p.numVars == 0 {
 		return nil, errors.New("lp: empty problem")
 	}
-	s := &simplex{m: m, nStruct: p.numVars}
-
-	// Copy structural columns; normalize GE rows to LE by negation.
-	rowNeg := make([]float64, m)
-	for i, sense := range p.rowSense {
-		if sense == GE {
-			rowNeg[i] = -1
-		} else {
-			rowNeg[i] = 1
-		}
-		s.rhs = append(s.rhs, p.rhs[i]*rowNeg[i])
-	}
-	for j := 0; j < p.numVars; j++ {
-		col := make([]Entry, len(p.cols[j]))
-		for k, e := range p.cols[j] {
-			col[k] = Entry{Row: e.Row, Coef: e.Coef * rowNeg[e.Row]}
-		}
-		s.cols = append(s.cols, col)
-		cj := p.cost[j]
-		if perturb != 0 {
-			// Deterministic per-column jitter in [0, perturb).
-			h := uint64(j)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
-			cj *= 1 + perturb*float64(h%1024)/1024
-		}
-		s.cost = append(s.cost, cj)
-		s.lo = append(s.lo, p.lo[j])
-		s.up = append(s.up, p.up[j])
-	}
-	// Slack columns for (normalized) LE rows.
-	for i, sense := range p.rowSense {
-		if sense == EQ {
-			continue
-		}
-		s.cols = append(s.cols, []Entry{{Row: i, Coef: 1}})
-		s.cost = append(s.cost, 0)
-		s.lo = append(s.lo, 0)
-		s.up = append(s.up, math.Inf(1))
-		s.nSlack++
-	}
-	s.artBase = len(s.cols)
-
-	if err := s.initBasis(); err != nil {
-		return nil, err
-	}
-
+	s, rowNeg := p.newSimplex(perturb)
 	maxIter := maxIterFactor * (s.m + len(s.cols))
 
-	// Phase 1: minimize artificial mass if any artificial is nonzero.
-	if s.needPhase1() {
-		phase1Cost := make([]float64, len(s.cols))
-		for j := s.artBase; j < len(s.cols); j++ {
-			phase1Cost[j] = 1
+	if warm != nil {
+		if err := s.initBasisFrom(warm); err != nil {
+			return nil, err
 		}
-		st, err := s.iterate(phase1Cost, maxIter)
-		if err != nil {
-			return nil, fmt.Errorf("lp: phase 1: %w", err)
+		// The warm vertex is feasible by construction: no phase 1.
+	} else {
+		if err := s.initBasis(); err != nil {
+			return nil, err
 		}
-		if st == Unbounded {
-			return nil, errors.New("lp: phase 1 unbounded (internal error)")
-		}
-		if s.objective(phase1Cost) > feasTol*float64(s.m) {
-			return &Solution{Status: Infeasible, Iterations: s.iters}, nil
-		}
-		// Freeze artificials at zero for phase 2.
-		for j := s.artBase; j < len(s.cols); j++ {
-			s.up[j] = 0
+		// Phase 1: minimize artificial mass if any artificial is nonzero.
+		if s.needPhase1() {
+			phase1Cost := make([]float64, len(s.cols))
+			for j := s.artBase; j < len(s.cols); j++ {
+				phase1Cost[j] = 1
+			}
+			st, err := s.iterate(phase1Cost, maxIter)
+			if err != nil {
+				return nil, fmt.Errorf("lp: phase 1: %w", err)
+			}
+			if st == Unbounded {
+				return nil, errors.New("lp: phase 1 unbounded (internal error)")
+			}
+			if s.objective(phase1Cost) > feasTol*float64(s.m) {
+				return &Solution{Status: Infeasible, Iterations: s.iters}, nil
+			}
+			// Freeze artificials at zero for phase 2.
+			for j := s.artBase; j < len(s.cols); j++ {
+				s.up[j] = 0
+			}
 		}
 	}
 
@@ -289,566 +296,12 @@ func (p *Problem) solveOnce(perturb float64) (*Solution, error) {
 	for j := 0; j < s.nStruct; j++ {
 		sol.Obj += p.cost[j] * sol.X[j]
 	}
-	y := s.duals(s.cost)
+	y := make([]float64, m)
+	s.dualsInto(s.cost, y)
 	sol.Dual = make([]float64, m)
 	for i := range y {
 		sol.Dual[i] = y[i] * rowNeg[i]
 	}
+	sol.basis = s.captureBasis()
 	return sol, nil
-}
-
-// initBasis builds the starting basis: slacks where feasible, artificials
-// elsewhere, with all structural variables at their lower bound.
-func (s *simplex) initBasis() error {
-	s.status = make([]vstat, len(s.cols))
-	s.xN = make([]float64, len(s.cols))
-	for j := range s.cols {
-		s.status[j] = atLower
-		s.xN[j] = s.lo[j]
-	}
-	// Row activity with all structurals at bounds.
-	act := make([]float64, s.m)
-	for j := 0; j < s.nStruct; j++ {
-		if s.xN[j] != 0 {
-			for _, e := range s.cols[j] {
-				act[e.Row] += e.Coef * s.xN[j]
-			}
-		}
-	}
-	s.basis = make([]int, s.m)
-	s.xB = make([]float64, s.m)
-	// Map slack columns to their rows.
-	slackOf := make([]int, s.m)
-	for i := range slackOf {
-		slackOf[i] = -1
-	}
-	for k := 0; k < s.nSlack; k++ {
-		j := s.nStruct + k
-		slackOf[s.cols[j][0].Row] = j
-	}
-	for i := 0; i < s.m; i++ {
-		resid := s.rhs[i] - act[i]
-		if sj := slackOf[i]; sj >= 0 && resid >= 0 {
-			s.basis[i] = sj
-			s.status[sj] = basic
-			s.xB[i] = resid
-			continue
-		}
-		// Artificial with coefficient matching the residual's sign so
-		// its value is non-negative.
-		coef := 1.0
-		if resid < 0 {
-			coef = -1
-		}
-		j := len(s.cols)
-		s.cols = append(s.cols, []Entry{{Row: i, Coef: coef}})
-		s.cost = append(s.cost, 0)
-		s.lo = append(s.lo, 0)
-		s.up = append(s.up, math.Inf(1))
-		s.status = append(s.status, basic)
-		s.xN = append(s.xN, 0)
-		s.basis[i] = j
-		s.xB[i] = math.Abs(resid)
-	}
-	// Basis inverse: diagonal of ±1 (slack/artificial coefficients).
-	s.binv = make([]float64, s.m*s.m)
-	for i := 0; i < s.m; i++ {
-		col := s.cols[s.basis[i]][0]
-		s.binv[i*s.m+i] = 1 / col.Coef
-	}
-	return nil
-}
-
-func (s *simplex) needPhase1() bool {
-	for j := s.artBase; j < len(s.cols); j++ {
-		if s.status[j] == basic {
-			return true
-		}
-	}
-	return false
-}
-
-// objective evaluates cost·x at the current point.
-func (s *simplex) objective(cost []float64) float64 {
-	var obj float64
-	x := s.primal()
-	for j := range x {
-		if j < len(cost) {
-			obj += cost[j] * x[j]
-		}
-	}
-	return obj
-}
-
-// primal assembles the full primal vector.
-func (s *simplex) primal() []float64 {
-	x := make([]float64, len(s.cols))
-	for j := range s.cols {
-		if s.status[j] != basic {
-			x[j] = s.xN[j]
-		}
-	}
-	for i, j := range s.basis {
-		x[j] = s.xB[i]
-	}
-	return x
-}
-
-// duals returns y = c_B · B⁻¹ for the given cost vector.
-func (s *simplex) duals(cost []float64) []float64 {
-	y := make([]float64, s.m)
-	for i, j := range s.basis {
-		cb := 0.0
-		if j < len(cost) {
-			cb = cost[j]
-		}
-		if cb == 0 {
-			continue
-		}
-		row := s.binv[i*s.m : (i+1)*s.m]
-		for k, v := range row {
-			y[k] += cb * v
-		}
-	}
-	return y
-}
-
-// reducedCost computes c_j − y·A_j.
-func (s *simplex) reducedCost(cost []float64, y []float64, j int) float64 {
-	d := 0.0
-	if j < len(cost) {
-		d = cost[j]
-	}
-	for _, e := range s.cols[j] {
-		d -= y[e.Row] * e.Coef
-	}
-	return d
-}
-
-// ftran computes w = B⁻¹·A_j.
-func (s *simplex) ftran(j int, w []float64) {
-	for i := range w {
-		w[i] = 0
-	}
-	for _, e := range s.cols[j] {
-		coef := e.Coef
-		for i := 0; i < s.m; i++ {
-			w[i] += s.binv[i*s.m+e.Row] * coef
-		}
-	}
-}
-
-// iterate runs primal simplex pivots under the given cost vector until
-// optimality, unboundedness, or the iteration cap.
-func (s *simplex) iterate(cost []float64, maxIter int) (Status, error) {
-	w := make([]float64, s.m)
-	// Switch to Bland's rule after a degenerate streak long enough to
-	// suggest cycling rather than ordinary degeneracy.
-	blandAfter := 200 + (s.m+len(s.cols))/4
-	degenerate := 0
-	sinceRefactor := 0
-
-	startIters := s.iters
-	for {
-		if s.iters >= maxIter {
-			return 0, fmt.Errorf("%w (m=%d n=%d phaseIters=%d degenerateStreak=%d bland=%v)",
-				ErrIterationLimit, s.m, len(s.cols), s.iters-startIters, degenerate, degenerate > blandAfter)
-		}
-		y := s.duals(cost)
-
-		// Pricing: Dantzig rule; Bland's rule after a long
-		// degenerate streak to guarantee termination.
-		enter := -1
-		var enterDir float64 // +1 entering rises from lower, −1 falls from upper
-		useBland := degenerate > blandAfter
-		best := 0.0
-		for j := 0; j < len(s.cols); j++ {
-			if s.status[j] == basic {
-				continue
-			}
-			// Scale-aware optimality tolerance: with objective
-			// coefficients spanning many orders of magnitude (the
-			// PLAN-VNE costs reach 1e8), an absolute cutoff chases
-			// floating-point phantoms in c_j − y·A_j forever.
-			tol := dualTol * (1 + math.Abs(costOf(cost, j)))
-			switch s.status[j] {
-			case atLower:
-				d := s.reducedCost(cost, y, j)
-				if d < -tol && s.lo[j] < s.up[j] {
-					if useBland {
-						enter, enterDir = j, 1
-					} else if -d > best {
-						best, enter, enterDir = -d, j, 1
-					}
-				}
-			case atUpper:
-				d := s.reducedCost(cost, y, j)
-				if d > tol {
-					if useBland {
-						enter, enterDir = j, -1
-					} else if d > best {
-						best, enter, enterDir = d, j, -1
-					}
-				}
-			}
-			if useBland && enter >= 0 {
-				break
-			}
-		}
-		if enter < 0 {
-			return Optimal, nil
-		}
-
-		s.ftran(enter, w)
-
-		if useBland {
-			// Strict Bland ratio test: exact limits, ties broken
-			// by smallest basis column index. Together with
-			// lowest-index pricing this guarantees termination.
-			st, done := s.blandPivot(enter, enterDir, w, &degenerate)
-			if done {
-				return st, nil
-			}
-			sinceRefactor++
-			if sinceRefactor >= 100 {
-				if err := s.refactorize(); err != nil {
-					return 0, err
-				}
-				sinceRefactor = 0
-			}
-			continue
-		}
-
-		// Exact two-pass ratio test. The entering variable moves by
-		// t ≥ 0 in direction enterDir; basic variable i changes by
-		// −enterDir·w[i]·t. Pass 1 finds the exact minimum ratio;
-		// pass 2 picks, among rows tied (within numerical noise) at
-		// that minimum, the one with the largest pivot magnitude for
-		// numerical stability. Unlike a Harris test with a relaxed
-		// pass 1, exact limits cannot accumulate row infeasibility
-		// across iterations (which previously caused stalling on the
-		// SLOTOFF master problems).
-		tBound := s.up[enter] - s.lo[enter] // bound-flip limit
-		rmin := tBound
-		for i := 0; i < s.m; i++ {
-			delta := -enterDir * w[i]
-			bj := s.basis[i]
-			var lim float64
-			switch {
-			case delta < -pivotTol: // basic value falls toward its lower bound
-				lim = snapSlack(s.xB[i]-s.lo[bj]) / -delta
-			case delta > pivotTol: // basic value rises toward its upper bound
-				if math.IsInf(s.up[bj], 1) {
-					continue
-				}
-				lim = snapSlack(s.up[bj]-s.xB[i]) / delta
-			default:
-				continue
-			}
-			if lim < rmin {
-				rmin = lim
-			}
-		}
-		if math.IsInf(rmin, 1) {
-			return Unbounded, nil
-		}
-		leave := -1
-		leaveToUpper := false
-		tMax := rmin
-		bestPivot := 0.0
-		// Select the leaving row with the largest pivot magnitude among
-		// rows tied at the minimum ratio. If the best tie pivot is
-		// numerically weak, widen the tie band once — trading a bounded
-		// (≤ feasTol-scale) ratio violation for basis conditioning.
-		for _, tieScale := range []float64{1e-9, 1e-7} {
-			tie := rmin + tieScale*(1+rmin)
-			for i := 0; i < s.m; i++ {
-				delta := -enterDir * w[i]
-				bj := s.basis[i]
-				var lim float64
-				var toUpper bool
-				switch {
-				case delta < -pivotTol:
-					lim, toUpper = snapSlack(s.xB[i]-s.lo[bj])/-delta, false
-				case delta > pivotTol:
-					if math.IsInf(s.up[bj], 1) {
-						continue
-					}
-					lim, toUpper = snapSlack(s.up[bj]-s.xB[i])/delta, true
-				default:
-					continue
-				}
-				if lim > tie {
-					continue
-				}
-				if piv := math.Abs(delta); piv > bestPivot {
-					bestPivot, leave, leaveToUpper = piv, i, toUpper
-				}
-			}
-			if bestPivot >= weakPivot {
-				break
-			}
-		}
-		if tMax < 0 {
-			tMax = 0
-		}
-		if tMax < feasTol {
-			degenerate++
-		} else {
-			degenerate = 0
-		}
-		s.iters++
-
-		// Apply the step to the basic values.
-		if tMax > 0 {
-			for i := 0; i < s.m; i++ {
-				s.xB[i] -= enterDir * w[i] * tMax
-			}
-		}
-
-		if leave < 0 {
-			// Bound flip: entering variable jumps to its other bound.
-			if enterDir > 0 {
-				s.status[enter] = atUpper
-				s.xN[enter] = s.up[enter]
-			} else {
-				s.status[enter] = atLower
-				s.xN[enter] = s.lo[enter]
-			}
-			continue
-		}
-
-		// Pivot: enter replaces basis[leave].
-		exiting := s.basis[leave]
-		if leaveToUpper {
-			s.status[exiting] = atUpper
-			s.xN[exiting] = s.up[exiting]
-		} else {
-			s.status[exiting] = atLower
-			s.xN[exiting] = s.lo[exiting]
-		}
-		enterVal := s.xN[enter] + enterDir*tMax
-		s.basis[leave] = enter
-		s.status[enter] = basic
-		s.xB[leave] = enterVal
-
-		s.updateBinv(leave, w)
-		sinceRefactor++
-		if sinceRefactor >= 100 {
-			if err := s.refactorize(); err != nil {
-				return 0, err
-			}
-			sinceRefactor = 0
-		}
-	}
-}
-
-// blandPivot performs one simplex step with the exact (non-relaxed) ratio
-// test and Bland tie-breaking (smallest basis column index), which — with
-// lowest-index pricing — provably terminates on degenerate cycles.
-// It returns (Unbounded, true) if the step is unbounded.
-func (s *simplex) blandPivot(enter int, enterDir float64, w []float64, degenerate *int) (Status, bool) {
-	const tieTol = 1e-12
-	// Pass 1: exact minimum ratio, including the entering variable's
-	// own bound span.
-	rmin := s.up[enter] - s.lo[enter]
-	for i := 0; i < s.m; i++ {
-		delta := -enterDir * w[i]
-		bj := s.basis[i]
-		var lim float64
-		switch {
-		case delta < -pivotTol:
-			lim = snapSlack(s.xB[i]-s.lo[bj]) / -delta
-		case delta > pivotTol:
-			if math.IsInf(s.up[bj], 1) {
-				continue
-			}
-			lim = snapSlack(s.up[bj]-s.xB[i]) / delta
-		default:
-			continue
-		}
-		if lim < rmin {
-			rmin = lim
-		}
-	}
-	if math.IsInf(rmin, 1) {
-		return Unbounded, true
-	}
-	// Pass 2: among rows achieving the minimum, the smallest basis
-	// column index leaves.
-	leave := -1
-	leaveToUpper := false
-	for i := 0; i < s.m; i++ {
-		delta := -enterDir * w[i]
-		bj := s.basis[i]
-		var lim float64
-		var toUpper bool
-		switch {
-		case delta < -pivotTol:
-			lim, toUpper = snapSlack(s.xB[i]-s.lo[bj])/-delta, false
-		case delta > pivotTol:
-			if math.IsInf(s.up[bj], 1) {
-				continue
-			}
-			lim, toUpper = snapSlack(s.up[bj]-s.xB[i])/delta, true
-		default:
-			continue
-		}
-		if lim <= rmin+tieTol && (leave < 0 || bj < s.basis[leave]) {
-			leave, leaveToUpper = i, toUpper
-		}
-	}
-	if rmin < feasTol {
-		*degenerate++
-	} else {
-		*degenerate = 0
-	}
-	s.iters++
-	if rmin > 0 {
-		for i := 0; i < s.m; i++ {
-			s.xB[i] -= enterDir * w[i] * rmin
-		}
-	}
-	if leave < 0 {
-		// Bound flip.
-		if enterDir > 0 {
-			s.status[enter] = atUpper
-			s.xN[enter] = s.up[enter]
-		} else {
-			s.status[enter] = atLower
-			s.xN[enter] = s.lo[enter]
-		}
-		return 0, false
-	}
-	exiting := s.basis[leave]
-	if leaveToUpper {
-		s.status[exiting] = atUpper
-		s.xN[exiting] = s.up[exiting]
-	} else {
-		s.status[exiting] = atLower
-		s.xN[exiting] = s.lo[exiting]
-	}
-	s.basis[leave] = enter
-	s.status[enter] = basic
-	s.xB[leave] = s.xN[enter] + enterDir*rmin
-	s.updateBinv(leave, w)
-	return 0, false
-}
-
-// costOf returns the phase cost of column j (0 for columns beyond the
-// cost vector, i.e. artificials in phase 2).
-func costOf(cost []float64, j int) float64 {
-	if j < len(cost) {
-		return cost[j]
-	}
-	return 0
-}
-
-// snapSlack treats a basic variable's distance to its bound as exactly
-// zero when it is within the feasibility tolerance (including slightly
-// negative from floating-point noise). Without the snap, noise-level
-// slacks produce endless ~1e-9 micro-steps that never trip the degeneracy
-// guard — the stall observed on the SLOTOFF master problems.
-func snapSlack(d float64) float64 {
-	if d < feasTol {
-		return 0
-	}
-	return d
-}
-
-// updateBinv applies the elementary pivot transformation so that binv
-// remains the inverse of the new basis: row r scaled by 1/w_r, other rows
-// i reduced by w_i× the scaled row.
-func (s *simplex) updateBinv(r int, w []float64) {
-	piv := w[r]
-	rowR := s.binv[r*s.m : (r+1)*s.m]
-	inv := 1 / piv
-	for k := range rowR {
-		rowR[k] *= inv
-	}
-	for i := 0; i < s.m; i++ {
-		if i == r {
-			continue
-		}
-		f := w[i]
-		if f == 0 {
-			continue
-		}
-		rowI := s.binv[i*s.m : (i+1)*s.m]
-		for k := range rowI {
-			rowI[k] -= f * rowR[k]
-		}
-	}
-}
-
-// refactorize recomputes the basis inverse from scratch (Gauss–Jordan with
-// partial pivoting) and recomputes the basic values, containing numerical
-// drift from repeated eta updates.
-func (s *simplex) refactorize() error {
-	m := s.m
-	// Assemble B and the identity side in one augmented matrix.
-	aug := make([]float64, m*2*m)
-	for i := 0; i < m; i++ {
-		aug[i*2*m+m+i] = 1
-	}
-	for col, j := range s.basis {
-		for _, e := range s.cols[j] {
-			aug[e.Row*2*m+col] = e.Coef
-		}
-	}
-	for col := 0; col < m; col++ {
-		// Partial pivot.
-		piv, pivRow := 0.0, -1
-		for i := col; i < m; i++ {
-			if v := math.Abs(aug[i*2*m+col]); v > piv {
-				piv, pivRow = v, i
-			}
-		}
-		if piv < pivotTol {
-			return errSingular
-		}
-		if pivRow != col {
-			for k := 0; k < 2*m; k++ {
-				aug[col*2*m+k], aug[pivRow*2*m+k] = aug[pivRow*2*m+k], aug[col*2*m+k]
-			}
-		}
-		inv := 1 / aug[col*2*m+col]
-		for k := 0; k < 2*m; k++ {
-			aug[col*2*m+k] *= inv
-		}
-		for i := 0; i < m; i++ {
-			if i == col {
-				continue
-			}
-			f := aug[i*2*m+col]
-			if f == 0 {
-				continue
-			}
-			for k := 0; k < 2*m; k++ {
-				aug[i*2*m+k] -= f * aug[col*2*m+k]
-			}
-		}
-	}
-	for i := 0; i < m; i++ {
-		copy(s.binv[i*s.m:(i+1)*s.m], aug[i*2*m+m:i*2*m+2*m])
-	}
-	// Recompute xB = B⁻¹(b − N·x_N).
-	resid := append([]float64(nil), s.rhs...)
-	for j := range s.cols {
-		if s.status[j] == basic || s.xN[j] == 0 {
-			continue
-		}
-		for _, e := range s.cols[j] {
-			resid[e.Row] -= e.Coef * s.xN[j]
-		}
-	}
-	for i := 0; i < m; i++ {
-		v := 0.0
-		row := s.binv[i*m : (i+1)*m]
-		for k, r := range resid {
-			v += row[k] * r
-		}
-		s.xB[i] = v
-	}
-	return nil
 }

@@ -172,6 +172,25 @@ func TestFixedVariable(t *testing.T) {
 	}
 }
 
+// TestAddVarMergesDuplicateRowEntries pins the one-entry-per-row column
+// invariant: duplicate rows sum. Without the merge, the sparse solves
+// disagreed among themselves on such columns (FTRAN scattered the last
+// coefficient while pricing summed them), so Solve could report Optimal
+// for a constraint-violating point.
+func TestAddVarMergesDuplicateRowEntries(t *testing.T) {
+	p := NewProblem()
+	r := p.AddRow(LE, 4)
+	// Intended coefficient 2 = 1 + 1: min -x s.t. 2x ≤ 4, x ∈ [0, 10].
+	x := p.MustAddVar(-1, 0, 10, []Entry{{r, 1}, {r, 1}})
+	sol := solveOptimal(t, p)
+	if math.Abs(sol.X[x]-2) > 1e-8 {
+		t.Fatalf("x = %g, want 2 (duplicate entries must sum to coef 2)", sol.X[x])
+	}
+	if len(p.cols[x]) != 1 || p.cols[x][0].Coef != 2 {
+		t.Fatalf("stored column %v, want single entry with coef 2", p.cols[x])
+	}
+}
+
 func TestAddVarErrors(t *testing.T) {
 	p := NewProblem()
 	p.AddRow(LE, 1)

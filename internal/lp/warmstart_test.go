@@ -1,0 +1,165 @@
+package lp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestWarmStartFromOptimumNeedsNoPivots re-solves from the final basis
+// of an identical problem: the warm vertex is already optimal, so the
+// simplex must terminate without a single pivot.
+func TestWarmStartFromOptimumNeedsNoPivots(t *testing.T) {
+	p := NewProblem()
+	r1 := p.AddRow(LE, 4)
+	r2 := p.AddRow(LE, 12)
+	r3 := p.AddRow(LE, 18)
+	mustVar(t, p, -3, 0, math.Inf(1), []Entry{{r1, 1}, {r3, 3}})
+	mustVar(t, p, -5, 0, math.Inf(1), []Entry{{r2, 2}, {r3, 2}})
+	cold := solveOptimal(t, p)
+	if cold.Basis() == nil {
+		t.Fatal("optimal solution has no basis snapshot")
+	}
+	warm, err := p.SolveFrom(cold.Basis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != Optimal {
+		t.Fatalf("warm status = %v", warm.Status)
+	}
+	if warm.Iterations != 0 {
+		t.Fatalf("warm solve took %d pivots from its own optimal basis, want 0", warm.Iterations)
+	}
+	if math.Abs(warm.Obj-cold.Obj) > 1e-9 {
+		t.Fatalf("warm obj %g != cold obj %g", warm.Obj, cold.Obj)
+	}
+}
+
+// TestWarmStartAcrossColumnGeneration mimics a Dantzig–Wolfe round: new
+// columns (and the capacity rows they touch) appear after the snapshot.
+// The warm solve must reach the same optimum as a cold solve, in fewer
+// pivots.
+func TestWarmStartAcrossColumnGeneration(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	p := NewProblem()
+	const mCap, classes = 25, 12
+	caps := make([]int, mCap)
+	for i := range caps {
+		caps[i] = p.AddRow(LE, 40+10*rng.Float64())
+	}
+	conv := make([]int, classes)
+	for i := range conv {
+		conv[i] = p.AddRow(EQ, 1)
+	}
+	addCol := func(ci int, cost float64) {
+		entries := []Entry{{conv[ci], 1}}
+		for k := 0; k < 4; k++ {
+			entries = append(entries, Entry{caps[rng.IntN(mCap)], 1 + 5*rng.Float64()})
+		}
+		p.MustAddVar(cost, 0, 1, entries)
+	}
+	for ci := 0; ci < classes; ci++ {
+		// Rejection-style column keeps every round feasible.
+		p.MustAddVar(1e4, 0, 1, []Entry{{conv[ci], 1}})
+		for k := 0; k < 3; k++ {
+			addCol(ci, 100*(1+rng.Float64()))
+		}
+	}
+	sol := solveOptimal(t, p)
+
+	// A pricing round: a few improving columns per class, one touching a
+	// brand-new row.
+	newRow := p.AddRow(LE, 30)
+	for ci := 0; ci < classes; ci++ {
+		addCol(ci, 50*(1+rng.Float64()))
+	}
+	p.MustAddVar(40, 0, 1, []Entry{{conv[0], 1}, {newRow, 2}})
+
+	coldSol := solveOptimal(t, p)
+	warmSol, err := p.SolveFrom(sol.Basis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmSol.Status != Optimal {
+		t.Fatalf("warm status = %v", warmSol.Status)
+	}
+	if rel := math.Abs(warmSol.Obj-coldSol.Obj) / (1 + math.Abs(coldSol.Obj)); rel > 1e-8 {
+		t.Fatalf("warm obj %g != cold obj %g", warmSol.Obj, coldSol.Obj)
+	}
+	if warmSol.Iterations >= coldSol.Iterations {
+		t.Fatalf("warm start did not save pivots: warm %d, cold %d", warmSol.Iterations, coldSol.Iterations)
+	}
+	t.Logf("cold %d pivots, warm %d", coldSol.Iterations, warmSol.Iterations)
+}
+
+// TestWarmStartGarbageBasisFallsBack feeds SolveFrom snapshots that
+// cannot seed a feasible basis; the solve must silently fall back to a
+// cold start and still return the right answer.
+func TestWarmStartGarbageBasisFallsBack(t *testing.T) {
+	build := func() *Problem {
+		p := NewProblem()
+		r := p.AddRow(GE, 5)
+		p.MustAddVar(1, 0, math.Inf(1), []Entry{{r, 1}})
+		p.MustAddVar(2, 0, math.Inf(1), []Entry{{r, 1}})
+		return p
+	}
+	for name, b := range map[string]*Basis{
+		"nil":            nil,
+		"empty":          {},
+		"all basic":      {Vars: []VarStatus{StatusBasic, StatusBasic}, Rows: []VarStatus{StatusBasic}},
+		"all nonbasic":   {Vars: []VarStatus{StatusLower, StatusLower}, Rows: []VarStatus{StatusLower}},
+		"upper infinite": {Vars: []VarStatus{StatusUpper, StatusUpper}, Rows: []VarStatus{StatusBasic}},
+		"oversized":      {Vars: []VarStatus{StatusBasic, StatusBasic, StatusBasic, StatusBasic}, Rows: []VarStatus{StatusBasic, StatusBasic, StatusBasic}},
+	} {
+		p := build()
+		sol, err := p.SolveFrom(b)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sol.Status != Optimal || math.Abs(sol.Obj-5) > 1e-8 {
+			t.Fatalf("%s: status %v obj %g, want optimal 5", name, sol.Status, sol.Obj)
+		}
+	}
+}
+
+// TestWarmStartDoesNotMutateProblem guards SolveFrom's reuse contract.
+func TestWarmStartDoesNotMutateProblem(t *testing.T) {
+	p := NewProblem()
+	r := p.AddRow(LE, 1)
+	mustVar(t, p, -1, 0, 1, []Entry{{r, 1}})
+	first := solveOptimal(t, p)
+	for i := 0; i < 3; i++ {
+		again, err := p.SolveFrom(first.Basis())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Obj != first.Obj {
+			t.Fatalf("solve %d differs: %g vs %g", i, again.Obj, first.Obj)
+		}
+	}
+}
+
+// TestWarmStartInfeasibleAfterBoundTightening: the snapshot's vertex is
+// no longer feasible once bounds move; SolveFrom must detect it and
+// fall back rather than "optimize" from an infeasible point.
+func TestWarmStartInfeasibleAfterBoundTightening(t *testing.T) {
+	p := NewProblem()
+	r := p.AddRow(LE, 10)
+	x := p.MustAddVar(-1, 0, 8, []Entry{{r, 1}})
+	sol := solveOptimal(t, p)
+	if math.Abs(sol.X[x]-8) > 1e-9 {
+		t.Fatalf("x = %g, want 8", sol.X[x])
+	}
+	// Rebuild with a tighter row so the remembered vertex (x basic at 8,
+	// slack 2) is infeasible.
+	q := NewProblem()
+	rq := q.AddRow(LE, 3)
+	q.MustAddVar(-1, 0, 8, []Entry{{rq, 1}})
+	warm, err := q.SolveFrom(sol.Basis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != Optimal || math.Abs(warm.Obj-(-3)) > 1e-8 {
+		t.Fatalf("status %v obj %g, want optimal -3", warm.Status, warm.Obj)
+	}
+}

@@ -231,6 +231,13 @@ type Options struct {
 	// default: the cost of placing every element of the application on
 	// the most expensive substrate element of its type.
 	RejectionFactor float64
+	// DisableWarmStarts runs every master LP from a cold basis and
+	// ignores the Solver's cross-Build basis memory and solution-support
+	// column pool. An ablation/benchmark knob. Every intermediate LP is
+	// still solved to optimality either way, but the resulting plans can
+	// differ: truncated column generation explores different column sets
+	// when rounds (and consecutive Builds) no longer share state.
+	DisableWarmStarts bool
 }
 
 // DefaultOptions returns the paper's plan parameters.
@@ -278,6 +285,23 @@ type Solver struct {
 	priceOracle *embedder.Oracle
 	dualBuf     []float64
 	priceBuf    embedder.Prices
+
+	// Signature-keyed basis memory from the most recent Build: column
+	// and row statuses of the final master LP basis, keyed by stable
+	// identities (class, embedding signature, substrate element) rather
+	// than indices, so the next Build — whose master may order classes
+	// and columns differently — can warm-start from it. SLOTOFF's
+	// consecutive per-slot masters and windowed plans differ by a few
+	// columns and demands, which is exactly the regime where a warm
+	// vertex stays feasible and saves most of the cold phase-1 pivots.
+	warmVars map[string]lp.VarStatus
+	warmRows map[string]lp.VarStatus
+	// pool carries each class's solution-support embeddings (columns
+	// basic or at upper bound in the last master) into the next Build's
+	// seed set. Without it the remembered basis would reference priced-in
+	// columns the fresh master lacks, and the warm start could never
+	// reproduce the vertex it came from.
+	pool map[classKey][]*vnet.Embedding
 }
 
 // NewSolver returns a Solver for the given substrate and applications.
@@ -334,11 +358,23 @@ func (s *Solver) Build(classes []Class, opts Options) (*Plan, error) {
 		return nil, err
 	}
 
+	// Warm-start chain: the first solve reuses the previous Build's
+	// basis (remapped by signature), and each pricing round reuses the
+	// round before it (indices are stable — the master only appends).
+	useWarm := !opts.DisableWarmStarts
+	var warm *lp.Basis
+	if useWarm {
+		warm = m.warmBasis(s.warmVars, s.warmRows)
+	}
 	var sol *lp.Solution
 	rounds := 0
 	for {
 		var err error
-		sol, err = m.prob.Solve()
+		if warm != nil {
+			sol, err = m.prob.SolveFrom(warm)
+		} else {
+			sol, err = m.prob.Solve()
+		}
 		if err != nil {
 			return nil, fmt.Errorf("plan: master LP: %w", err)
 		}
@@ -353,6 +389,12 @@ func (s *Solver) Build(classes []Class, opts Options) (*Plan, error) {
 		if added == 0 {
 			break
 		}
+		if useWarm {
+			warm = sol.Basis()
+		}
+	}
+	if useWarm {
+		s.captureWarm(m, sol)
 	}
 
 	p := &Plan{Obj: sol.Obj, Iterations: sol.Iterations, PricingRounds: rounds}
@@ -390,6 +432,12 @@ type master struct {
 
 	// quantile column index range per class.
 	quantCols [][]int
+
+	// varKeys/rowKeys give every LP column and row a stable identity
+	// (class, embedding signature, substrate element) for remapping a
+	// previous solve's basis onto this master (Solver warm starts).
+	varKeys []string
+	rowKeys []string
 }
 
 func newMaster(g *graph.Graph, apps []*vnet.App, classes []Class, opts Options) *master {
@@ -413,13 +461,43 @@ func newMaster(g *graph.Graph, apps []*vnet.App, classes []Class, opts Options) 
 	P := opts.Quantiles
 	for i, c := range classes {
 		m.convRow[i] = m.prob.AddRow(lp.EQ, 1)
+		m.rowKeys = append(m.rowKeys, fmt.Sprintf("c:%d:%d", c.App, c.Ingress))
 		for p := 1; p <= P; p++ {
 			cost := m.psi[i] * c.Demand * float64(p)
 			v := m.prob.MustAddVar(cost, 0, 1/float64(P), []lp.Entry{{Row: m.convRow[i], Coef: 1}})
 			m.quantCols[i] = append(m.quantCols[i], v)
+			m.varKeys = append(m.varKeys, fmt.Sprintf("q:%d:%d:%d", c.App, c.Ingress, p))
 		}
 	}
 	return m
+}
+
+// warmBasis remaps a previous solve's signature-keyed basis onto this
+// master's indices, or returns nil when there is nothing to reuse.
+// Columns the memory does not know stay nonbasic at lower bound; rows it
+// does not know keep their logical column basic — the lp defaults for
+// freshly added structure.
+func (m *master) warmBasis(vars, rows map[string]lp.VarStatus) *lp.Basis {
+	if len(vars) == 0 && len(rows) == 0 {
+		return nil
+	}
+	b := &lp.Basis{
+		Vars: make([]lp.VarStatus, m.prob.NumVars()),
+		Rows: make([]lp.VarStatus, m.prob.NumRows()),
+	}
+	for j, key := range m.varKeys {
+		if st, ok := vars[key]; ok {
+			b.Vars[j] = st
+		}
+	}
+	for i, key := range m.rowKeys {
+		if st, ok := rows[key]; ok {
+			b.Rows[i] = st
+		} else {
+			b.Rows[i] = lp.StatusBasic
+		}
+	}
+	return b
 }
 
 // rowFor returns (creating on demand) the capacity row of element e.
@@ -429,13 +507,15 @@ func (m *master) rowFor(e graph.ElementID) int {
 	}
 	r := m.prob.AddRow(lp.LE, m.g.ElementCap(e))
 	m.elemRow[e] = r
+	m.rowKeys = append(m.rowKeys, fmt.Sprintf("e:%d", e))
 	return r
 }
 
 // addColumn inserts the embedding as a candidate for class ci; returns
 // false if an identical column already exists.
 func (m *master) addColumn(ci int, e *vnet.Embedding) bool {
-	sig := fmt.Sprintf("%d|%s", ci, embSignature(e))
+	es := embSignature(e)
+	sig := fmt.Sprintf("%d|%s", ci, es)
 	if m.sigs[sig] {
 		return false
 	}
@@ -448,7 +528,47 @@ func (m *master) addColumn(ci int, e *vnet.Embedding) bool {
 	m.prob.MustAddVar(e.UnitCost()*d, 0, 1, entries)
 	m.colClass = append(m.colClass, ci)
 	m.colEmb = append(m.colEmb, e)
+	c := m.classes[ci]
+	m.varKeys = append(m.varKeys, fmt.Sprintf("x:%d:%d:%s", c.App, c.Ingress, es))
 	return true
+}
+
+// captureWarm stores the final basis of a solved master in the Solver's
+// signature-keyed memory for the next Build. Variable statuses are
+// stored sparsely (missing means nonbasic-at-lower, the default);
+// row statuses are stored for every row the master had, because an
+// absent row key defaults to logical-basic on replay.
+func (s *Solver) captureWarm(m *master, sol *lp.Solution) {
+	b := sol.Basis()
+	if b == nil {
+		return
+	}
+	s.warmVars = make(map[string]lp.VarStatus, len(m.varKeys))
+	for j, key := range m.varKeys {
+		if st := b.Vars[j]; st != lp.StatusLower {
+			s.warmVars[key] = st
+		}
+	}
+	s.warmRows = make(map[string]lp.VarStatus, len(m.rowKeys))
+	for i, key := range m.rowKeys {
+		s.warmRows[key] = b.Rows[i]
+	}
+	// Pool the solution support (basic or at-upper embedding columns)
+	// for the next Build's seed set. The pool is rebuilt per Build, so
+	// it stays bounded by one master's support size.
+	base := 0
+	for i := range m.quantCols {
+		base += len(m.quantCols[i])
+	}
+	s.pool = make(map[classKey][]*vnet.Embedding)
+	for k, ci := range m.colClass {
+		if b.Vars[base+k] == lp.StatusLower {
+			continue
+		}
+		c := m.classes[ci]
+		key := classKey{c.App, c.Ingress}
+		s.pool[key] = append(s.pool[key], m.colEmb[k])
+	}
 }
 
 func embSignature(e *vnet.Embedding) string {
@@ -475,6 +595,17 @@ func (m *master) seedColumns() error {
 	seeded := 0
 	for ci, c := range m.classes {
 		app := m.apps[c.App]
+		// Previous solve's solution support first: these columns carry
+		// the remembered basis (Solver warm starts) across Builds. Part
+		// of the warm-start machinery, so the ablation knob disables it
+		// too — a cold Build must not consume a warm Build's pool.
+		if !m.opts.DisableWarmStarts {
+			for _, e := range m.solver.pool[classKey{c.App, c.Ingress}] {
+				if m.addColumn(ci, e) {
+					seeded++
+				}
+			}
+		}
 		for _, e := range oracle.KCheapestCollocated(app, c.Ingress, m.opts.InitialCandidates) {
 			if m.addColumn(ci, e) {
 				seeded++

@@ -1,0 +1,121 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"github.com/olive-vne/olive/internal/topo"
+	"github.com/olive-vne/olive/internal/vnet"
+	"github.com/olive-vne/olive/internal/workload"
+)
+
+// warmScenario builds a mid-size instance for warm-start behavior tests.
+func warmScenario(t *testing.T) (*Solver, *Solver, []Class, Options, Options) {
+	t.Helper()
+	g := topo.MustBuild(topo.CittaStudi, 9)
+	rng := testRNG(9)
+	apps := vnet.DefaultMix(vnet.DefaultParams(), rng)
+	wp := workload.DefaultParams().WithUtilization(1.2)
+	wp.Slots = 150
+	tr, err := workload.GenerateMMPP(g, wp, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, err := Aggregate(tr, len(apps), 0.8, 100, testRNG(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) == 0 {
+		t.Fatal("no classes")
+	}
+	warmOpts := DefaultOptions()
+	coldOpts := DefaultOptions()
+	coldOpts.DisableWarmStarts = true
+	return NewSolver(g, apps), NewSolver(g, apps), classes, warmOpts, coldOpts
+}
+
+// TestWarmStartsBeatCold pins the point of the warm-start plumbing: the
+// same plan build costs at least 2× fewer simplex pivots with
+// round-to-round warm starts, and a repeated build (the SLOTOFF per-slot
+// regime, where the Solver's signature-keyed memory and column pool
+// apply) nearly vanishes. Plans must stay valid and agree on cost to
+// within column-generation truncation noise.
+func TestWarmStartsBeatCold(t *testing.T) {
+	warmSolver, coldSolver, classes, warmOpts, coldOpts := warmScenario(t)
+	g := warmSolver.g
+
+	cold, err := coldSolver.Build(classes, coldOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm1, err := warmSolver.Build(classes, warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm2, err := warmSolver.Build(classes, warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pivots: cold=%d warm=%d repeat=%d", cold.Iterations, warm1.Iterations, warm2.Iterations)
+
+	if warm1.Iterations*2 > cold.Iterations {
+		t.Errorf("round-to-round warm starts saved too little: cold %d pivots, warm %d (want ≥2×)",
+			cold.Iterations, warm1.Iterations)
+	}
+	if warm2.Iterations*10 > cold.Iterations {
+		t.Errorf("repeated build should be nearly free: cold %d pivots, repeat %d (want ≥10×)",
+			cold.Iterations, warm2.Iterations)
+	}
+	for name, p := range map[string]*Plan{"cold": cold, "warm": warm1, "repeat": warm2} {
+		if err := p.Validate(g); err != nil {
+			t.Errorf("%s plan invalid: %v", name, err)
+		}
+	}
+	// Truncated column generation may take different column trajectories
+	// warm vs cold; the resulting plans must still land within a small
+	// relative band of each other.
+	for name, p := range map[string]*Plan{"warm": warm1, "repeat": warm2} {
+		if rel := math.Abs(p.Obj-cold.Obj) / (1 + math.Abs(cold.Obj)); rel > 5e-3 {
+			t.Errorf("%s obj %g drifted %.2g%% from cold obj %g", name, p.Obj, 100*rel, cold.Obj)
+		}
+	}
+}
+
+// TestWarmStartsDeterministic: two fresh solvers replaying the same
+// build sequence must produce identical plans — the warm-start path
+// (basis memory, column pool) cannot introduce run-to-run variance.
+func TestWarmStartsDeterministic(t *testing.T) {
+	run := func() []*Plan {
+		solver, _, classes, warmOpts, _ := warmScenario(t)
+		var out []*Plan
+		for i := 0; i < 3; i++ {
+			p, err := solver.Build(classes, warmOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, p)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Obj != b[i].Obj || a[i].Iterations != b[i].Iterations {
+			t.Fatalf("build %d diverged across identical runs: obj %v vs %v, iters %d vs %d",
+				i, a[i].Obj, b[i].Obj, a[i].Iterations, b[i].Iterations)
+		}
+		if len(a[i].Classes) != len(b[i].Classes) {
+			t.Fatalf("build %d class count differs", i)
+		}
+		for ci := range a[i].Classes {
+			if a[i].Classes[ci].Rejected != b[i].Classes[ci].Rejected ||
+				len(a[i].Classes[ci].Shares) != len(b[i].Classes[ci].Shares) {
+				t.Fatalf("build %d class %d differs across identical runs", i, ci)
+			}
+			for si := range a[i].Classes[ci].Shares {
+				if a[i].Classes[ci].Shares[si].Fraction != b[i].Classes[ci].Shares[si].Fraction {
+					t.Fatalf("build %d class %d share %d fraction differs", i, ci, si)
+				}
+			}
+		}
+	}
+}

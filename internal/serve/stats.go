@@ -46,7 +46,17 @@ func (l *latencyRing) quantiles() (p50, p99 time.Duration, samples int64) {
 	}
 	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
 	at := func(q float64) time.Duration {
-		i := int(q * float64(len(tmp)-1))
+		// Nearest-rank with ceiling: the q-quantile of n samples is the
+		// ⌈q·n⌉-th smallest. A truncating q·(n−1) index collapses the
+		// tail at small windows — with n=50 it reported the 49th-ranked
+		// sample (≈p96) as p99.
+		i := int(math.Ceil(q*float64(len(tmp)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(tmp) {
+			i = len(tmp) - 1
+		}
 		return tmp[i]
 	}
 	return at(0.50), at(0.99), samples

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyRingQuantilesNearestRank pins the nearest-rank-with-ceiling
+// definition: the q-quantile of n samples is the ⌈q·n⌉-th smallest. The
+// old truncating index int(q·(n−1)) collapsed p99 toward the median at
+// small windows (n=50 reported the 49th-ranked sample, ≈p96; n=2
+// reported the minimum).
+func TestLatencyRingQuantilesNearestRank(t *testing.T) {
+	cases := []struct {
+		n       int
+		wantP50 time.Duration // ⌈0.50·n⌉-th of 1,2,…,n µs
+		wantP99 time.Duration // ⌈0.99·n⌉-th
+	}{
+		{n: 1, wantP50: 1 * time.Microsecond, wantP99: 1 * time.Microsecond},
+		{n: 2, wantP50: 1 * time.Microsecond, wantP99: 2 * time.Microsecond},
+		{n: 50, wantP50: 25 * time.Microsecond, wantP99: 50 * time.Microsecond},
+		{n: 100, wantP50: 50 * time.Microsecond, wantP99: 99 * time.Microsecond},
+	}
+	for _, tc := range cases {
+		l := newLatencyRing(tc.n)
+		// Insert in descending order so the quantile must come from the
+		// sorted copy, not insertion order.
+		for v := tc.n; v >= 1; v-- {
+			l.record(time.Duration(v) * time.Microsecond)
+		}
+		p50, p99, samples := l.quantiles()
+		if samples != int64(tc.n) {
+			t.Errorf("n=%d: samples = %d", tc.n, samples)
+		}
+		if p50 != tc.wantP50 {
+			t.Errorf("n=%d: p50 = %v, want %v", tc.n, p50, tc.wantP50)
+		}
+		if p99 != tc.wantP99 {
+			t.Errorf("n=%d: p99 = %v, want %v (the tail sample, not a mid-ranked one)", tc.n, p99, tc.wantP99)
+		}
+	}
+}
+
+// TestLatencyRingEmptyAndOverflow covers the degenerate window states:
+// no samples, and a ring that has wrapped (quantiles over the retained
+// window, total over everything recorded).
+func TestLatencyRingEmptyAndOverflow(t *testing.T) {
+	l := newLatencyRing(4)
+	p50, p99, samples := l.quantiles()
+	if p50 != 0 || p99 != 0 || samples != 0 {
+		t.Fatalf("empty ring: got p50=%v p99=%v samples=%d", p50, p99, samples)
+	}
+	for v := 1; v <= 10; v++ { // retains 7,8,9,10
+		l.record(time.Duration(v) * time.Millisecond)
+	}
+	p50, p99, samples = l.quantiles()
+	if samples != 10 {
+		t.Fatalf("samples = %d, want 10", samples)
+	}
+	if p50 != 8*time.Millisecond { // ⌈0.5·4⌉ = 2nd of {7,8,9,10}
+		t.Errorf("p50 = %v, want 8ms", p50)
+	}
+	if p99 != 10*time.Millisecond { // ⌈0.99·4⌉ = 4th
+		t.Errorf("p99 = %v, want 10ms", p99)
+	}
+}

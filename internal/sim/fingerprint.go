@@ -23,12 +23,15 @@ var allAlgorithms = []core.Algorithm{
 	core.AlgoOLIVE, core.AlgoQuickG, core.AlgoFullG, core.AlgoSlotOff,
 }
 
-// GoldenConfigs returns the 5-config × 4-algorithm smoke suite. The
+// GoldenConfigs returns the 6-config × 4-algorithm smoke suite. The
 // configs deliberately cover the features whose refactors historically
 // needed hand-run pre/post fingerprint diffs: the default MMPP path, the
 // CAIDA trace with windowed (time-varying) plans, the GPU substrate
-// variant, the borrowing ablation, and the shuffled-plan spatial
-// stressor — each exercising all four algorithms at quick scale.
+// variant, the borrowing ablation (at both seed 6 and seed 4 — the
+// latter is the instance whose master LP used to kill the solver with
+// "singular basis during refactorization" and was dodged until the
+// sparse-LU basis landed), and the shuffled-plan spatial stressor —
+// each exercising all four algorithms at quick scale.
 func GoldenConfigs() []GoldenConfig {
 	mk := func(t topo.Name, util float64, seed uint64) Config {
 		c := QuickConfig(t, util, seed)
@@ -43,6 +46,8 @@ func GoldenConfigs() []GoldenConfig {
 	gpu.GPU = true // GPU substrate variant + uniform GPU-chain app set
 	noborrow := mk(topo.Random100, 1.4, 6)
 	noborrow.EngineOptions.DisableBorrowing = true
+	noborrow4 := mk(topo.Random100, 1.4, 4)
+	noborrow4.EngineOptions.DisableBorrowing = true
 	shuffled := mk(topo.FiveGEN, 0.8, 5)
 	shuffled.ShufflePlanIngress = true
 	return []GoldenConfig{
@@ -50,6 +55,7 @@ func GoldenConfigs() []GoldenConfig {
 		{Name: "cittastudi-caida-windowed", Config: caida},
 		{Name: "iris-gpu-u100", Config: gpu},
 		{Name: "random100-noborrow-u140", Config: noborrow},
+		{Name: "random100-noborrow-u140-s4", Config: noborrow4},
 		{Name: "5gen-shuffled-u80", Config: shuffled},
 	}
 }

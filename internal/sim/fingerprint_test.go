@@ -7,12 +7,13 @@ import (
 	"github.com/olive-vne/olive/internal/topo"
 )
 
-// TestGoldenConfigsShape pins the suite's contract: 5 configs, unique
-// names (they key the testdata/golden files), all four algorithms each.
+// TestGoldenConfigsShape pins the suite's contract: 6 configs, unique
+// names (they key the testdata/golden files), all four algorithms each,
+// and the once-dodged Random100@1.4 seed-4 instance present.
 func TestGoldenConfigsShape(t *testing.T) {
 	gcs := GoldenConfigs()
-	if len(gcs) != 5 {
-		t.Fatalf("suite has %d configs, want 5", len(gcs))
+	if len(gcs) != 6 {
+		t.Fatalf("suite has %d configs, want 6", len(gcs))
 	}
 	seen := map[string]bool{}
 	for _, gc := range gcs {
@@ -23,6 +24,9 @@ func TestGoldenConfigsShape(t *testing.T) {
 		if len(gc.Config.Algorithms) != 4 {
 			t.Fatalf("%s runs %d algorithms, want 4", gc.Name, len(gc.Config.Algorithms))
 		}
+	}
+	if !seen["random100-noborrow-u140-s4"] {
+		t.Fatal("suite lost random100-noborrow-u140-s4 — the seed-4 LP regression config must stay")
 	}
 }
 
