@@ -13,6 +13,12 @@
 // it — the serving plan. SIGTERM/SIGINT drain gracefully: new requests
 // get 503, admitted ones still receive their decision.
 //
+// Observability: GET /metrics serves Prometheus text (always on);
+// -log-requests emits a structured access log to stderr; -rps/-burst and
+// -client-rps/-client-burst put token-bucket admission control in front
+// of the shard queues (429 + Retry-After); -debug-addr serves
+// net/http/pprof on a separate listener, off by default.
+//
 // Client utilities (no server started):
 //
 //	vnesimd -gen-stream 200 -topo iris -seed 7 > stream.json
@@ -32,8 +38,10 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"math/rand/v2"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -71,6 +79,12 @@ func run(args []string) error {
 	lambda := fs.Float64("lambda", 3, "plan-history arrivals per edge node per slot")
 	genStream := fs.Int("gen-stream", 0, "generate a canned request stream of this many requests to stdout and exit")
 	replay := fs.String("replay", "", "post this stream file to -addr sequentially, print decision lines, exit")
+	rps := fs.Float64("rps", 0, "global admission rate limit in requests/second (0 = unlimited)")
+	burst := fs.Float64("burst", 0, "global rate-limit burst (default max(rps, 1))")
+	clientRPS := fs.Float64("client-rps", 0, "per-client admission rate limit (X-Client-ID keyed; 0 = unlimited)")
+	clientBurst := fs.Float64("client-burst", 0, "per-client burst (default max(client-rps, 1))")
+	logRequests := fs.Bool("log-requests", false, "emit one structured JSON access-log line per HTTP request to stderr")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this separate address (off when empty)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,6 +117,15 @@ func run(args []string) error {
 		Algorithm:     core.Algorithm(algoName(*algo)),
 		SlotDuration:  *slot,
 		Deterministic: *deterministic,
+		RateLimit: serve.RateLimit{
+			RPS:            *rps,
+			Burst:          *burst,
+			PerClientRPS:   *clientRPS,
+			PerClientBurst: *clientBurst,
+		},
+	}
+	if *logRequests {
+		opts.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	if opts.Algorithm == core.AlgoOLIVE {
 		log.Printf("building PLAN-VNE plan: %s hist=%d slots λ=%g util=%g", tn, *histSlots, *lambda, *util)
@@ -120,6 +143,25 @@ func run(args []string) error {
 		return err
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	// The profiler gets its own listener so it is never reachable through
+	// the service port (and never rate-limited or access-logged).
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbgSrv := &http.Server{Addr: *debugAddr, Handler: dmux}
+		defer dbgSrv.Close()
+		go func() {
+			log.Printf("pprof debug listener on %s", *debugAddr)
+			if err := dbgSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

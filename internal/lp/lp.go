@@ -176,6 +176,12 @@ type Solution struct {
 	Dual []float64
 	// Iterations counts simplex pivots across both phases.
 	Iterations int
+	// Refactorizations counts basis LU rebuilds (scheduled eta-file
+	// flushes plus weak-pivot and repair refreshes).
+	Refactorizations int
+	// WarmStarted reports that this solution came out of a successful
+	// warm start (SolveFrom without the cold fallback).
+	WarmStarted bool
 
 	basis *Basis
 }
@@ -220,6 +226,9 @@ func (p *Problem) Solve() (*Solution, error) {
 	if err != nil && errors.Is(err, errSingular) {
 		sol, err = p.solveOnce(1e-10, nil)
 	}
+	if err == nil {
+		recordSolve(sol)
+	}
 	return sol, err
 }
 
@@ -235,7 +244,10 @@ func (p *Problem) Solve() (*Solution, error) {
 // than Solve by more than the failed warm attempt.
 func (p *Problem) SolveFrom(b *Basis) (*Solution, error) {
 	if b != nil {
+		counters.warmAttempts.Add(1)
 		if sol, err := p.solveOnce(0, b); err == nil {
+			sol.WarmStarted = true
+			recordSolve(sol)
 			return sol, nil
 		}
 	}
@@ -273,7 +285,7 @@ func (p *Problem) solveOnce(perturb float64, warm *Basis) (*Solution, error) {
 				return nil, errors.New("lp: phase 1 unbounded (internal error)")
 			}
 			if s.objective(phase1Cost) > feasTol*float64(s.m) {
-				return &Solution{Status: Infeasible, Iterations: s.iters}, nil
+				return &Solution{Status: Infeasible, Iterations: s.iters, Refactorizations: s.refacts}, nil
 			}
 			// Freeze artificials at zero for phase 2.
 			for j := s.artBase; j < len(s.cols); j++ {
@@ -286,7 +298,7 @@ func (p *Problem) solveOnce(perturb float64, warm *Basis) (*Solution, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lp: phase 2: %w", err)
 	}
-	sol := &Solution{Status: st, Iterations: s.iters}
+	sol := &Solution{Status: st, Iterations: s.iters, Refactorizations: s.refacts}
 	if st != Optimal {
 		return sol, nil
 	}

@@ -41,7 +41,8 @@ type simplex struct {
 	cbbuf []float64 // basic costs, position space
 	rbuf  []float64 // rhs residual for xB recomputation
 
-	iters int
+	iters   int
+	refacts int // refactorization count, surfaced in Solution
 }
 
 // newSimplex builds the working state from a problem: GE rows normalized
@@ -351,6 +352,7 @@ func (s *simplex) reducedCost(cost []float64, y []float64, j int) float64 {
 // aborting; only a repair that cannot restore a feasible basis
 // surfaces errSingular.
 func (s *simplex) refactorize() error {
+	s.refacts++
 	repaired := false
 	for attempt := 0; ; attempt++ {
 		lu, depPos, depRows := factorBasis(s.m, s.cols, s.basis)

@@ -1,0 +1,88 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// smallLP builds a 2-row problem with a nontrivial optimum:
+// max-ish structure expressed as min −x−y s.t. x+y ≤ 4, x ≤ 3.
+func smallLP(t *testing.T) *Problem {
+	t.Helper()
+	p := NewProblem()
+	r1 := p.AddRow(LE, 4)
+	r2 := p.AddRow(LE, 3)
+	p.MustAddVar(-1, 0, math.Inf(1), []Entry{{Row: r1, Coef: 1}, {Row: r2, Coef: 1}})
+	p.MustAddVar(-1, 0, math.Inf(1), []Entry{{Row: r1, Coef: 1}})
+	return p
+}
+
+// TestSolveCountersAndHook checks the always-on counters and the solve
+// hook across a cold solve and a warm re-solve. Counters are process
+// globals, so the test asserts deltas, not absolutes.
+func TestSolveCountersAndHook(t *testing.T) {
+	var hooked []SolveStats
+	SetSolveHook(func(s SolveStats) { hooked = append(hooked, s) })
+	defer SetSolveHook(nil)
+
+	before := Stats()
+	p := smallLP(t)
+	sol, err := p.Solve()
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("cold solve: %v %v", sol, err)
+	}
+	if sol.WarmStarted {
+		t.Fatal("cold solve reported WarmStarted")
+	}
+	if sol.Refactorizations < 1 {
+		t.Fatalf("Refactorizations = %d, want ≥ 1 (initBasis factors once)", sol.Refactorizations)
+	}
+	mid := Stats()
+	if mid.Solves != before.Solves+1 {
+		t.Fatalf("Solves delta = %d, want 1", mid.Solves-before.Solves)
+	}
+	if mid.Pivots-before.Pivots != int64(sol.Iterations) {
+		t.Fatalf("Pivots delta = %d, want %d", mid.Pivots-before.Pivots, sol.Iterations)
+	}
+	if mid.Refactorizations-before.Refactorizations != int64(sol.Refactorizations) {
+		t.Fatalf("Refactorizations delta = %d, want %d",
+			mid.Refactorizations-before.Refactorizations, sol.Refactorizations)
+	}
+	if mid.WarmAttempts != before.WarmAttempts || mid.WarmHits != before.WarmHits {
+		t.Fatal("cold solve moved the warm counters")
+	}
+
+	warmSol, err := p.SolveFrom(sol.Basis())
+	if err != nil || warmSol.Status != Optimal {
+		t.Fatalf("warm solve: %v %v", warmSol, err)
+	}
+	if !warmSol.WarmStarted {
+		t.Fatal("re-solve from the optimal basis did not warm-start")
+	}
+	after := Stats()
+	if after.WarmAttempts != mid.WarmAttempts+1 || after.WarmHits != mid.WarmHits+1 {
+		t.Fatalf("warm counters delta = attempts %d hits %d, want 1 and 1",
+			after.WarmAttempts-mid.WarmAttempts, after.WarmHits-mid.WarmHits)
+	}
+	if after.Solves != mid.Solves+1 {
+		t.Fatalf("Solves delta = %d, want 1", after.Solves-mid.Solves)
+	}
+
+	if len(hooked) != 2 {
+		t.Fatalf("hook fired %d times, want 2", len(hooked))
+	}
+	if hooked[0].WarmStarted || !hooked[1].WarmStarted {
+		t.Fatalf("hook warm flags = %v/%v, want false/true", hooked[0].WarmStarted, hooked[1].WarmStarted)
+	}
+	if hooked[0].Pivots != sol.Iterations || hooked[0].Refactorizations != sol.Refactorizations {
+		t.Fatalf("hook stats %+v disagree with solution %d/%d", hooked[0], sol.Iterations, sol.Refactorizations)
+	}
+
+	// A nil basis goes straight to the cold path: no warm attempt.
+	if _, err := p.SolveFrom(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := Stats().WarmAttempts; got != after.WarmAttempts {
+		t.Fatalf("SolveFrom(nil) moved WarmAttempts to %d", got)
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the inclusive-upper bucket
+// semantics: a value exactly at a bound counts into that bucket (le is
+// inclusive, matching Prometheus), a value just above goes to the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	h.Observe(1)    // bucket le=1 (at the bound: inclusive)
+	h.Observe(1.25) // bucket le=2 (just above a bound)
+	h.Observe(2)    // bucket le=2
+	h.Observe(4)    // bucket le=4
+	h.Observe(5)    // overflow
+	h.Observe(0)    // bucket le=1
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 13.25 { // every addend is binary-exact
+		t.Fatalf("sum = %g, want 13.25", h.Sum())
+	}
+}
+
+func TestNormalizeBuckets(t *testing.T) {
+	// Trailing +Inf is stripped (implicit overflow bucket).
+	if got := normalizeBuckets([]float64{1, 2, math.Inf(1)}); len(got) != 2 {
+		t.Fatalf("trailing +Inf not stripped: %v", got)
+	}
+	for name, b := range map[string][]float64{
+		"empty":      {},
+		"descending": {2, 1},
+		"duplicate":  {1, 1},
+		"nan":        {math.NaN()},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v buckets did not panic", name)
+				}
+			}()
+			normalizeBuckets(b)
+		}()
+	}
+}
+
+func TestLatencyBucketsShape(t *testing.T) {
+	b := LatencyBuckets()
+	if len(b) != 25 || b[0] != 1e-6 {
+		t.Fatalf("ladder = %d buckets starting %g", len(b), b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] != b[i-1]*2 {
+			t.Fatalf("bucket %d: %g is not double %g", i, b[i], b[i-1])
+		}
+	}
+	if b[len(b)-1] < 10 {
+		t.Fatalf("top bucket %g s does not cover a wedged-shard latency", b[len(b)-1])
+	}
+}
+
+// TestHistogramQuantileVsExactSort draws random samples and checks the
+// interpolated quantile against the exact sorted quantile: with doubling
+// buckets the estimate must land within the owning bucket of the exact
+// answer — i.e. within a factor 2 (one bucket width) plus the bottom
+// bucket floor.
+func TestHistogramQuantileVsExactSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 0))
+	for trial := 0; trial < 5; trial++ {
+		h := newHistogram(LatencyBuckets())
+		n := 2000
+		samples := make([]float64, n)
+		for i := range samples {
+			// Log-uniform over [2µs, 0.5s): spans most of the ladder.
+			e := rng.Float64()*18 - 19 // 2^-19 ≈ 1.9µs … 2^-1 = 0.5s
+			samples[i] = math.Pow(2, e)
+			h.Observe(samples[i])
+		}
+		sort.Float64s(samples)
+		for _, q := range []float64{0.50, 0.90, 0.99, 0.999} {
+			exact := samples[int(math.Ceil(q*float64(n)))-1]
+			est := h.Quantile(q)
+			if est < exact/2 || est > exact*2 {
+				t.Errorf("trial %d q=%g: estimate %g outside factor-2 of exact %g", trial, q, est, exact)
+			}
+		}
+	}
+}
+
+// TestHistogramQuantileExactWithinBucket: when every observation sits in
+// one bucket, interpolation follows the mid-point rank convention.
+func TestHistogramQuantileExactWithinBucket(t *testing.T) {
+	h := newHistogram([]float64{10, 20})
+	for i := 0; i < 10; i++ {
+		h.Observe(15) // all in (10, 20]
+	}
+	// p50 → rank 5, position (5−½)/10 of the way through [10,20] = 14.5.
+	if got := h.Quantile(0.50); got != 14.5 {
+		t.Errorf("p50 = %g, want 14.5", got)
+	}
+	// p100 → rank 10 → 19.5.
+	if got := h.Quantile(1); got != 19.5 {
+		t.Errorf("p100 = %g, want 19.5", got)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", got)
+	}
+	h.Observe(100) // overflow bucket only
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("overflow-only quantile = %g, want top bound 2", got)
+	}
+}

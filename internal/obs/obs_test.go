@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %g, want 3.5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %g, want 4", got)
+	}
+	// Idempotent re-registration returns the same series.
+	if r.Counter("test_ops_total", "ops").Value() != 3.5 {
+		t.Fatal("re-registration did not return the existing counter")
+	}
+}
+
+func TestVecSeriesAreIndependent(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_decisions_total", "decisions", "shard", "outcome")
+	a := v.With("0", "accepted")
+	b := v.With("0", "rejected")
+	a.Inc()
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 || b.Value() != 1 {
+		t.Fatalf("series not independent: a=%g b=%g", a.Value(), b.Value())
+	}
+	if v.With("0", "accepted") != a {
+		t.Fatal("With is not stable for equal label values")
+	}
+}
+
+func TestRegisterShapeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_x_total", "x")
+	for name, fn := range map[string]func(){
+		"kind":    func() { r.Gauge("test_x_total", "x") },
+		"labels":  func() { r.CounterVec("test_x_total", "x", "shard") },
+		"badname": func() { r.Counter("9bad", "x") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_a_total", "a counter").Add(3)
+	r.CounterVec("test_b_total", "labeled", "shard").With("1").Add(5)
+	r.Gauge("test_c", "a gauge").Set(-1.5)
+	r.GaugeFunc("test_d", "func gauge", func() float64 { return 42 })
+	h := r.Histogram("test_lat_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(99) // overflow bucket
+	v := r.GaugeFuncVec("test_e", "labeled func gauge", "shard")
+	v.With(func() float64 { return 7 }, "0")
+
+	text := r.Render()
+	fams, err := Lint(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("lint of own output failed: %v\n%s", err, text)
+	}
+	want := map[string]struct {
+		typ string
+		val float64
+	}{
+		"test_a_total": {"counter", 3},
+		"test_b_total": {"counter", 5},
+		"test_c":       {"gauge", -1.5},
+		"test_d":       {"gauge", 42},
+		"test_e":       {"gauge", 7},
+	}
+	for name, w := range want {
+		f, ok := fams[name]
+		if !ok {
+			t.Fatalf("family %q missing from parse", name)
+		}
+		if f.Type != w.typ {
+			t.Errorf("%s type = %q, want %q", name, f.Type, w.typ)
+		}
+		if len(f.Samples) != 1 || f.Samples[0].Value != w.val {
+			t.Errorf("%s samples = %+v, want one sample %g", name, f.Samples, w.val)
+		}
+	}
+	hf := fams["test_lat_seconds"]
+	if hf == nil || hf.Type != "histogram" {
+		t.Fatalf("histogram family missing or mistyped: %+v", hf)
+	}
+	// 3 finite buckets + Inf + sum + count.
+	if len(hf.Samples) != 6 {
+		t.Fatalf("histogram rendered %d samples, want 6: %+v", len(hf.Samples), hf.Samples)
+	}
+	for _, s := range hf.Samples {
+		if s.Name == "test_lat_seconds_count" && s.Value != 3 {
+			t.Errorf("count = %g, want 3", s.Value)
+		}
+		if s.Name == "test_lat_seconds_bucket" && s.Labels["le"] == "+Inf" && s.Value != 3 {
+			t.Errorf("+Inf bucket = %g, want 3", s.Value)
+		}
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_m_total", "m", "k")
+	// Insert out of sorted order; render must sort.
+	v.With("z").Inc()
+	v.With("a").Inc()
+	a, b := r.Render(), r.Render()
+	if a != b {
+		t.Fatal("two renders of an idle registry differ")
+	}
+	if strings.Index(a, `k="a"`) > strings.Index(a, `k="z"`) {
+		t.Fatalf("series not sorted by label value:\n%s", a)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_esc_total", "esc", "path").With(`a"b\c` + "\n").Inc()
+	fams, err := Lint(strings.NewReader(r.Render()))
+	if err != nil {
+		t.Fatalf("lint: %v\n%s", err, r.Render())
+	}
+	s := fams["test_esc_total"].Samples
+	if len(s) != 1 || s[0].Labels["path"] != "a\"b\\c\n" {
+		t.Fatalf("escaped label did not round-trip: %+v", s)
+	}
+}
+
+func TestHandlerServesText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_h_total", "h").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_h_total 1") {
+		t.Fatalf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+// TestConcurrentUpdatesAndScrapes is the -race probe: writers hammer a
+// counter, a vec and a histogram while a reader renders.
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_cc_total", "cc")
+	v := r.CounterVec("test_cv_total", "cv", "w")
+	h := r.Histogram("test_ch_seconds", "ch", LatencyBuckets())
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := v.With(string(rune('a' + w)))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				s.Inc()
+				h.Observe(float64(i%100) * 1e-6)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if _, err := Lint(strings.NewReader(r.Render())); err != nil {
+				t.Errorf("mid-run lint: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %g, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestLintCatchesBrokenHistogram(t *testing.T) {
+	bad := `# TYPE test_bad_seconds histogram
+test_bad_seconds_bucket{le="0.1"} 5
+test_bad_seconds_bucket{le="1"} 3
+test_bad_seconds_bucket{le="+Inf"} 5
+test_bad_seconds_count 5
+`
+	if _, err := Lint(strings.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "not cumulative") {
+		t.Fatalf("lint err = %v, want non-cumulative complaint", err)
+	}
+	noInf := `# TYPE test_noinf_seconds histogram
+test_noinf_seconds_bucket{le="0.1"} 5
+test_noinf_seconds_count 5
+`
+	if _, err := Lint(strings.NewReader(noInf)); err == nil || !strings.Contains(err.Error(), "+Inf") {
+		t.Fatalf("lint err = %v, want missing +Inf complaint", err)
+	}
+	untyped := "test_untyped_total 3\n"
+	if _, err := Lint(strings.NewReader(untyped)); err == nil || !strings.Contains(err.Error(), "no TYPE") {
+		t.Fatalf("lint err = %v, want no-TYPE complaint", err)
+	}
+}
+
+func TestParseValueSpecials(t *testing.T) {
+	for s, want := range map[string]float64{"+Inf": math.Inf(1), "-Inf": math.Inf(-1), "3.5": 3.5} {
+		v, err := parseValue(s)
+		if err != nil || v != want {
+			t.Errorf("parseValue(%q) = %g, %v; want %g", s, v, err, want)
+		}
+	}
+	if v, err := parseValue("NaN"); err != nil || !math.IsNaN(v) {
+		t.Errorf("parseValue(NaN) = %g, %v", v, err)
+	}
+}

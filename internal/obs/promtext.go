@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the exposition format: a small parser
+// and linter for Prometheus text (version 0.0.4), used by CI to assert
+// that a live /metrics scrape is well-formed and serves the required
+// families, and by tests to round-trip the writer. It covers the subset
+// the writer emits — HELP/TYPE comments, labeled samples, histogram
+// _bucket/_sum/_count conventions — and lints the invariants that
+// matter: declared types, valid names, parsable values, cumulative
+// monotone buckets ending at +Inf, and bucket/count agreement.
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one metric family of a parsed scrape.
+type ParsedFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []Sample
+}
+
+// ParseText parses a text-format scrape into its families, keyed by
+// family name. Histogram component samples (_bucket/_sum/_count) are
+// attributed to their base family. Parse errors carry the line number.
+func ParseText(r io.Reader) (map[string]*ParsedFamily, error) {
+	fams := make(map[string]*ParsedFamily)
+	get := func(name string) *ParsedFamily {
+		if f, ok := fams[name]; ok {
+			return f
+		}
+		f := &ParsedFamily{Name: name}
+		fams[name] = f
+		return f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				f := get(fields[2])
+				if fields[1] == "TYPE" {
+					if len(fields) < 4 {
+						return nil, fmt.Errorf("promtext: line %d: TYPE without a type", lineNo)
+					}
+					f.Type = fields[3]
+				} else if len(fields) == 4 {
+					f.Help = fields[3]
+				}
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("promtext: line %d: %w", lineNo, err)
+		}
+		base := s.Name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(s.Name, suf)
+			if trimmed != s.Name {
+				if f, ok := fams[trimmed]; ok && f.Type == "histogram" {
+					base = trimmed
+				}
+				break
+			}
+		}
+		get(base).Samples = append(get(base).Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("promtext: %w", err)
+	}
+	return fams, nil
+}
+
+// parseSample parses `name{l="v",...} value`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:i]
+	if !nameOK(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// Timestamps (a second field) are permitted by the format; the
+	// writer never emits them but the linter should not choke.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(v string) (float64, error) {
+	switch v {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+// parseLabels parses `a="x",b="y"` (escaped \\ \" \n inside values).
+func parseLabels(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return nil, fmt.Errorf("malformed labels %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !nameOK(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		rest := s[eq+2:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(rest) {
+			return nil, fmt.Errorf("unterminated label value in %q", s)
+		}
+		out[name] = val.String()
+		s = strings.TrimPrefix(strings.TrimSpace(rest[i+1:]), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+// Lint parses a scrape and checks the structural invariants: every
+// sample belongs to a family with a declared TYPE; histograms carry
+// cumulative monotone buckets ending at le="+Inf" whose total matches
+// _count. Returns the parsed families on success so callers can make
+// further assertions (e.g. required-family presence).
+func Lint(r io.Reader) (map[string]*ParsedFamily, error) {
+	fams, err := ParseText(r)
+	if err != nil {
+		return nil, err
+	}
+	var errs []string
+	for _, name := range sortedKeys(fams) {
+		f := fams[name]
+		if f.Type == "" {
+			errs = append(errs, fmt.Sprintf("family %q has samples but no TYPE", name))
+			continue
+		}
+		if f.Type == "histogram" {
+			lintHistogram(f, &errs)
+		}
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("promtext: lint: %s", strings.Join(errs, "; "))
+	}
+	return fams, nil
+}
+
+// lintHistogram checks one histogram family: per label set, buckets are
+// cumulative and monotone in le, the +Inf bucket exists, and agrees
+// with _count.
+func lintHistogram(f *ParsedFamily, errs *[]string) {
+	type hstate struct {
+		buckets []Sample
+		count   float64
+		hasCnt  bool
+	}
+	states := make(map[string]*hstate)
+	keyOf := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		for _, k := range keys {
+			sb.WriteString(k)
+			sb.WriteByte('=')
+			sb.WriteString(labels[k])
+			sb.WriteByte(';')
+		}
+		return sb.String()
+	}
+	st := func(labels map[string]string) *hstate {
+		k := keyOf(labels)
+		if s, ok := states[k]; ok {
+			return s
+		}
+		s := &hstate{}
+		states[k] = s
+		return s
+	}
+	for _, s := range f.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			st(s.Labels).buckets = append(st(s.Labels).buckets, s)
+		case strings.HasSuffix(s.Name, "_count"):
+			h := st(s.Labels)
+			h.count, h.hasCnt = s.Value, true
+		}
+	}
+	for key, h := range states {
+		if len(h.buckets) == 0 {
+			*errs = append(*errs, fmt.Sprintf("%s{%s}: histogram without buckets", f.Name, key))
+			continue
+		}
+		sort.Slice(h.buckets, func(i, j int) bool {
+			a, _ := parseValue(h.buckets[i].Labels["le"])
+			b, _ := parseValue(h.buckets[j].Labels["le"])
+			return a < b
+		})
+		prev := math.Inf(-1)
+		cumPrev := -1.0
+		for _, b := range h.buckets {
+			le, err := parseValue(b.Labels["le"])
+			if err != nil {
+				*errs = append(*errs, fmt.Sprintf("%s{%s}: bad le %q", f.Name, key, b.Labels["le"]))
+				continue
+			}
+			if le <= prev {
+				*errs = append(*errs, fmt.Sprintf("%s{%s}: duplicate le %g", f.Name, key, le))
+			}
+			if b.Value < cumPrev {
+				*errs = append(*errs, fmt.Sprintf("%s{%s}: buckets not cumulative at le=%g", f.Name, key, le))
+			}
+			prev, cumPrev = le, b.Value
+		}
+		last := h.buckets[len(h.buckets)-1]
+		if !math.IsInf(mustValue(last.Labels["le"]), 1) {
+			*errs = append(*errs, fmt.Sprintf("%s{%s}: missing le=\"+Inf\" bucket", f.Name, key))
+		} else if h.hasCnt && last.Value != h.count {
+			*errs = append(*errs, fmt.Sprintf("%s{%s}: +Inf bucket %g ≠ count %g", f.Name, key, last.Value, h.count))
+		}
+	}
+}
+
+func mustValue(s string) float64 {
+	v, _ := parseValue(s)
+	return v
+}
+
+func sortedKeys[M map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -336,6 +336,7 @@ func Build(g *graph.Graph, apps []*vnet.App, classes []Class, opts Options) (*Pl
 func (s *Solver) Build(classes []Class, opts Options) (*Plan, error) {
 	g, apps := s.g, s.apps
 	if len(classes) == 0 {
+		counters.builds.Add(1)
 		p := &Plan{}
 		p.buildIndex()
 		return p, nil
@@ -370,13 +371,18 @@ func (s *Solver) Build(classes []Class, opts Options) (*Plan, error) {
 	rounds := 0
 	for {
 		var err error
+		counters.masterSolves.Add(1)
 		if warm != nil {
+			counters.warmAttempts.Add(1)
 			sol, err = m.prob.SolveFrom(warm)
 		} else {
 			sol, err = m.prob.Solve()
 		}
 		if err != nil {
 			return nil, fmt.Errorf("plan: master LP: %w", err)
+		}
+		if sol.WarmStarted {
+			counters.warmHits.Add(1)
 		}
 		if sol.Status != lp.Optimal {
 			return nil, fmt.Errorf("plan: master LP %v (the rejection quantiles should make it always feasible)", sol.Status)
@@ -397,6 +403,7 @@ func (s *Solver) Build(classes []Class, opts Options) (*Plan, error) {
 		s.captureWarm(m, sol)
 	}
 
+	counters.builds.Add(1)
 	p := &Plan{Obj: sol.Obj, Iterations: sol.Iterations, PricingRounds: rounds}
 	p.Classes = m.extract(sol)
 	p.buildIndex()

@@ -1,0 +1,49 @@
+package plan
+
+import "testing"
+
+// TestBuildCounters checks the package counters across a cold build and
+// a repeated warm build on the same solver. Counters are process
+// globals, so deltas only.
+func TestBuildCounters(t *testing.T) {
+	warmSolver, coldSolver, classes, warmOpts, coldOpts := warmScenario(t)
+
+	before := Stats()
+	if _, err := coldSolver.Build(classes, coldOpts); err != nil {
+		t.Fatal(err)
+	}
+	mid := Stats()
+	if mid.Builds != before.Builds+1 {
+		t.Fatalf("Builds delta = %d, want 1", mid.Builds-before.Builds)
+	}
+	if mid.MasterSolves <= before.MasterSolves {
+		t.Fatal("cold build recorded no master solves")
+	}
+	if mid.WarmAttempts != before.WarmAttempts {
+		t.Fatalf("DisableWarmStarts build attempted %d warm starts", mid.WarmAttempts-before.WarmAttempts)
+	}
+
+	// Two warm builds: the second reuses the first's signature-keyed
+	// basis, so warm attempts must flow and nearly all must hit.
+	if _, err := warmSolver.Build(classes, warmOpts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warmSolver.Build(classes, warmOpts); err != nil {
+		t.Fatal(err)
+	}
+	after := Stats()
+	attempts := after.WarmAttempts - mid.WarmAttempts
+	hits := after.WarmHits - mid.WarmHits
+	if attempts == 0 {
+		t.Fatal("warm builds attempted no warm starts")
+	}
+	if hits == 0 {
+		t.Fatalf("0 of %d warm attempts hit", attempts)
+	}
+	if hits > attempts {
+		t.Fatalf("hits %d > attempts %d", hits, attempts)
+	}
+	if after.Builds != mid.Builds+2 {
+		t.Fatalf("Builds delta = %d, want 2", after.Builds-mid.Builds)
+	}
+}

@@ -57,9 +57,12 @@ type ReleaseResponse struct {
 	Released bool `json:"released"`
 }
 
-// errorResponse is the JSON error envelope.
+// errorResponse is the JSON error envelope. RetryAfterMS accompanies
+// rate-limit rejections (mirroring the Retry-After header, at
+// millisecond resolution).
 type errorResponse struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
 // Handler returns the server's HTTP API:
@@ -67,14 +70,21 @@ type errorResponse struct {
 //	POST   /v1/embed            submit an embedding request
 //	DELETE /v1/embeddings/{id}  release an embedding before it expires
 //	GET    /v1/stats            service statistics
+//	GET    /metrics             Prometheus text exposition
 //	GET    /healthz             liveness (503 while draining)
+//
+// Every route is wrapped with the request-ID/metrics/access-log
+// middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/embed", s.handleEmbed)
 	mux.HandleFunc("DELETE /v1/embeddings/{id}", s.handleRelease)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	return mux
+	if s.met != nil {
+		mux.Handle("GET /metrics", s.met.reg.Handler())
+	}
+	return s.middleware(mux)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -102,10 +112,32 @@ func (s *Server) admit() bool {
 
 func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	if !s.admit() {
+		s.shedDraining.Add(1)
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	defer s.inflight.Done()
+
+	// Admission control runs before any per-request work (decode,
+	// validation, routing): a shed request costs the server almost
+	// nothing, which is the point of shedding at the door rather than
+	// letting the queues fill.
+	if s.limiter != nil {
+		if ok, reason, retry := s.limiter.allow(clientKey(r)); !ok {
+			switch reason {
+			case limitClient:
+				s.shedClient.Add(1)
+			default:
+				s.shedGlobal.Add(1)
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)+1))
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{
+				Error:        fmt.Sprintf("rate limited (%s)", reason),
+				RetryAfterMS: retry.Milliseconds(),
+			})
+			return
+		}
+	}
 
 	var er EmbedRequest
 	if err := json.NewDecoder(r.Body).Decode(&er); err != nil {
@@ -148,9 +180,13 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	sh := s.shardOf(req.Ingress)
 	o := op{kind: opEmbed, req: req, reply: make(chan result, 1)}
 	t0 := time.Now()
+	if s.met != nil {
+		o.enqueued = t0
+	}
 	select {
 	case sh.queue <- o:
 	default:
+		sh.shed.Add(1)
 		writeError(w, http.StatusTooManyRequests, "shard %d queue full (%d)", sh.idx, cap(sh.queue))
 		return
 	}
@@ -161,6 +197,9 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.lat.record(lat)
+	if s.met != nil {
+		s.met.reqDur.Observe(lat.Seconds())
+	}
 	if res.accepted {
 		s.recordRevenue(er.Demand * float64(er.Duration))
 	}
@@ -179,6 +218,7 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	if !s.admit() {
+		s.shedDraining.Add(1)
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
@@ -201,6 +241,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		select {
 		case sh.queue <- o:
 		default:
+			sh.shed.Add(1)
 			writeError(w, http.StatusTooManyRequests, "shard %d queue full (%d)", sh.idx, cap(sh.queue))
 			return
 		}

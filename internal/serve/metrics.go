@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"strconv"
+
+	"github.com/olive-vne/olive/internal/lp"
+	"github.com/olive-vne/olive/internal/obs"
+	"github.com/olive-vne/olive/internal/plan"
+)
+
+// serverMetrics owns every metric family the server exports on
+// GET /metrics. The split is deliberate:
+//
+//   - Anything the serving path already counts for /v1/stats (decisions,
+//     sheds, queue depths, utilization, revenue, LP/plan counters) is
+//     exported as a func-backed view over those same atomics. One source
+//     of truth — /metrics and /v1/stats cannot disagree — and scraping
+//     costs the hot path nothing.
+//   - Distributions (latency histograms) have no /stats counterpart and
+//     are explicit instruments; the per-request work is a handful of
+//     atomic adds, with labeled series resolved once at construction.
+//
+// The catalog (see README "Observability" for the narrative version):
+//
+//	vne_build_info                       gauge   {algorithm,deterministic,shards}
+//	vne_uptime_seconds                   gauge
+//	vne_http_requests_total              counter {path,code}
+//	vne_http_request_duration_seconds    histogram {path}
+//	vne_decisions_total                  counter {shard,outcome}
+//	vne_shed_total                       counter {reason}
+//	vne_request_duration_seconds         histogram   (embed: enqueue→decision)
+//	vne_queue_wait_seconds               histogram   (embed: enqueue→dequeue)
+//	vne_solve_duration_seconds           histogram   (embed: engine solve only)
+//	vne_shard_queue_depth                gauge   {shard}
+//	vne_shard_queue_capacity             gauge   {shard}
+//	vne_shard_active_embeddings          gauge   {shard}
+//	vne_shard_utilization                gauge   {shard}
+//	vne_preemptions_total                counter
+//	vne_releases_total                   counter
+//	vne_revenue_total                    counter
+//	vne_ratelimit_tokens                 gauge   {scope}    (limiter enabled)
+//	vne_lp_solves_total                  counter {start}
+//	vne_lp_pivots_total                  counter
+//	vne_lp_refactorizations_total        counter
+//	vne_plan_builds_total                counter
+//	vne_plan_warm_starts_total           counter {outcome}
+type serverMetrics struct {
+	reg *obs.Registry
+
+	httpReqs *obs.CounterVec
+	httpDur  *obs.HistogramVec
+
+	reqDur    *obs.Histogram
+	queueWait *obs.Histogram
+	solveDur  *obs.Histogram
+}
+
+// shed reasons that are not limiter verdicts (those are limitGlobal and
+// limitClient in limit.go).
+const (
+	shedQueueFull = "queue_full"
+	shedDraining  = "draining"
+)
+
+// shardMetrics is the slice of serverMetrics a shard goroutine touches:
+// the shared distribution instruments. Decision counts stay in the
+// shard's own atomics; /metrics reads them at scrape time.
+type shardMetrics struct {
+	queueWait *obs.Histogram
+	solveDur  *obs.Histogram
+}
+
+// newServerMetrics registers every family on reg and wires the
+// scrape-time views onto the server's shards and the lp/plan counters.
+// Called once from New, after shards and limiter exist.
+func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
+	m := &serverMetrics{reg: reg}
+
+	det := "false"
+	if s.opts.Deterministic {
+		det = "true"
+	}
+	reg.GaugeVec("vne_build_info",
+		"Constant 1, labeled with the server configuration.",
+		"algorithm", "deterministic", "shards").
+		With(string(s.opts.Algorithm), det, strconv.Itoa(len(s.shards))).Set(1)
+	reg.GaugeFunc("vne_uptime_seconds",
+		"Seconds since the server was constructed.",
+		func() float64 { return s.uptime().Seconds() })
+
+	m.httpReqs = reg.CounterVec("vne_http_requests_total",
+		"HTTP requests by route pattern and status code.",
+		"path", "code")
+	m.httpDur = reg.HistogramVec("vne_http_request_duration_seconds",
+		"End-to-end HTTP handler latency by route pattern.",
+		obs.LatencyBuckets(), "path")
+
+	dec := reg.CounterFuncVec("vne_decisions_total",
+		"Embedding decisions by shard and outcome.",
+		"shard", "outcome")
+	depth := reg.GaugeFuncVec("vne_shard_queue_depth",
+		"Requests currently queued per shard.", "shard")
+	capa := reg.GaugeVec("vne_shard_queue_capacity",
+		"Bounded queue capacity per shard.", "shard")
+	active := reg.GaugeFuncVec("vne_shard_active_embeddings",
+		"Live embeddings per shard.", "shard")
+	util := reg.GaugeFuncVec("vne_shard_utilization",
+		"Allocated fraction of the shard's capacity slice.", "shard")
+	for _, sh := range s.shards {
+		sh := sh
+		label := strconv.Itoa(sh.idx)
+		dec.With(func() float64 { return float64(sh.accepted.Load()) }, label, "accepted")
+		dec.With(func() float64 { return float64(sh.rejected.Load()) }, label, "rejected")
+		depth.With(func() float64 { return float64(len(sh.queue)) }, label)
+		capa.With(label).Set(float64(cap(sh.queue)))
+		active.With(func() float64 { return float64(sh.active.Load()) }, label)
+		util.With(func() float64 { return sh.utilization() }, label)
+	}
+
+	// All four shed reasons are registered up front, so a scrape shows
+	// the full shape (at zero) before the first shed.
+	shed := reg.CounterFuncVec("vne_shed_total",
+		"Requests shed before reaching an engine, by reason.",
+		"reason")
+	shed.With(func() float64 { return float64(s.queueShed()) }, shedQueueFull)
+	shed.With(func() float64 { return float64(s.shedGlobal.Load()) }, string(limitGlobal))
+	shed.With(func() float64 { return float64(s.shedClient.Load()) }, string(limitClient))
+	shed.With(func() float64 { return float64(s.shedDraining.Load()) }, shedDraining)
+
+	m.reqDur = reg.Histogram("vne_request_duration_seconds",
+		"Embed decision latency, enqueue to decision (end-to-end).",
+		obs.LatencyBuckets())
+	m.queueWait = reg.Histogram("vne_queue_wait_seconds",
+		"Time an embed op waits in its shard queue before processing.",
+		obs.LatencyBuckets())
+	m.solveDur = reg.Histogram("vne_solve_duration_seconds",
+		"Engine solve time alone, excluding queueing and HTTP.",
+		obs.LatencyBuckets())
+	for _, sh := range s.shards {
+		sh.met = &shardMetrics{queueWait: m.queueWait, solveDur: m.solveDur}
+	}
+
+	reg.CounterFunc("vne_preemptions_total",
+		"Embeddings evicted to make room for arriving requests.",
+		func() float64 {
+			var t int64
+			for _, sh := range s.shards {
+				t += sh.preempted.Load()
+			}
+			return float64(t)
+		})
+	reg.CounterFunc("vne_releases_total",
+		"Embeddings released early via DELETE /v1/embeddings/{id}.",
+		func() float64 {
+			var t int64
+			for _, sh := range s.shards {
+				t += sh.released.Load()
+			}
+			return float64(t)
+		})
+	reg.CounterFunc("vne_revenue_total",
+		"Sum of demand times duration over accepted requests.",
+		s.readRevenue)
+
+	if s.limiter != nil {
+		reg.GaugeFuncVec("vne_ratelimit_tokens",
+			"Token-bucket fill level.", "scope").
+			With(s.limiter.globalTokens, "global")
+	}
+
+	// LP and plan solve counters are package-wide (the daemon owns the
+	// process, so process counters are server counters); exported as
+	// scrape-time views so the solver packages stay observability-free.
+	solves := reg.CounterFuncVec("vne_lp_solves_total",
+		"Completed LP solves by start mode.", "start")
+	solves.With(func() float64 { return float64(lp.Stats().WarmHits) }, "warm")
+	solves.With(func() float64 {
+		st := lp.Stats()
+		return float64(st.Solves - st.WarmHits)
+	}, "cold")
+	reg.CounterFunc("vne_lp_pivots_total",
+		"Total simplex pivots across all LP solves.",
+		func() float64 { return float64(lp.Stats().Pivots) })
+	reg.CounterFunc("vne_lp_refactorizations_total",
+		"Total basis LU refactorizations across all LP solves.",
+		func() float64 { return float64(lp.Stats().Refactorizations) })
+	reg.CounterFunc("vne_plan_builds_total",
+		"Completed PLAN-VNE builds.",
+		func() float64 { return float64(plan.Stats().Builds) })
+	warm := reg.CounterFuncVec("vne_plan_warm_starts_total",
+		"Plan master-LP warm-start attempts by outcome.", "outcome")
+	warm.With(func() float64 { return float64(plan.Stats().WarmHits) }, "hit")
+	warm.With(func() float64 {
+		st := plan.Stats()
+		return float64(st.WarmAttempts - st.WarmHits)
+	}, "miss")
+
+	return m
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Request tracing: every HTTP request gets an ID (caller-supplied
+// X-Request-ID honored, otherwise generated), echoed back in the
+// response header and attached to the structured access-log line. The
+// middleware also feeds the HTTP-level metric families; it observes the
+// request from outside the handler, so it can never perturb a decision.
+
+// statusWriter captures the status code and body size a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// reqSeq numbers generated request IDs. Process-wide so IDs stay unique
+// across multiple servers in one binary (tests run several).
+var reqSeq atomic.Int64
+
+// requestID returns the caller's X-Request-ID, or mints a sequential
+// one. Sequential — not random — so deterministic-mode runs produce
+// identical logs too, not just identical decisions.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" {
+		return id
+	}
+	return fmt.Sprintf("req-%06d", reqSeq.Add(1))
+}
+
+// clientKey identifies the client for rate limiting and logging: the
+// X-Client-ID header when present, else the remote IP without the port
+// (one host, many ephemeral ports, one bucket).
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// middleware wraps the API mux with request IDs, HTTP metrics, and the
+// optional access log.
+func (s *Server) middleware(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rid := requestID(r)
+		w.Header().Set("X-Request-ID", rid)
+		// Resolve the route pattern up front (mux.Handler does not
+		// execute the handler); per-pattern labels keep the metric
+		// cardinality at the route count, not the URL count.
+		route := "unmatched"
+		if _, p := mux.Handler(r); p != "" {
+			route = p
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		mux.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		dur := time.Since(t0)
+		if s.met != nil {
+			s.met.httpReqs.With(route, strconv.Itoa(sw.status)).Inc()
+			s.met.httpDur.With(route).Observe(dur.Seconds())
+		}
+		if s.log != nil {
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("id", rid),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", sw.status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("duration", dur),
+				slog.String("client", clientKey(r)),
+			)
+		}
+	})
+}

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +42,7 @@ import (
 	"github.com/olive-vne/olive/internal/core"
 	"github.com/olive-vne/olive/internal/embedder"
 	"github.com/olive-vne/olive/internal/graph"
+	"github.com/olive-vne/olive/internal/obs"
 	"github.com/olive-vne/olive/internal/plan"
 	"github.com/olive-vne/olive/internal/substrate"
 	"github.com/olive-vne/olive/internal/vnet"
@@ -70,6 +72,25 @@ type Options struct {
 	// via request Arrive fields, making the decision sequence a pure
 	// function of the request stream.
 	Deterministic bool
+
+	// Registry receives the server's metric families (GET /metrics). Nil
+	// constructs a private registry, retrievable via Metrics(). All
+	// instrumentation is passive — it observes decisions, it never
+	// influences them — so metrics on/off cannot change an accept/reject
+	// sequence (serve tests assert exactly that).
+	Registry *obs.Registry
+	// DisableMetrics turns instrumentation off entirely: no registry, no
+	// /metrics route, zero per-request observation work.
+	DisableMetrics bool
+	// RateLimit configures admission token buckets in front of the shard
+	// queues (see limit.go). The zero value disables limiting. The
+	// limiter consults the wall clock, so enabling it in deterministic
+	// mode makes admission — though never a post-admission decision —
+	// timing-dependent.
+	RateLimit RateLimit
+	// AccessLog, when set, receives one structured line per HTTP request
+	// (id, method, route, status, bytes, duration, client).
+	AccessLog *slog.Logger
 
 	// testHookProcess, when set, runs on the shard goroutine before each
 	// embed is processed. Package tests use it to stall a shard
@@ -131,6 +152,16 @@ type Server struct {
 	lat     *latencyRing
 	revMu   sync.Mutex
 	revenue float64
+
+	met     *serverMetrics // nil when Options.DisableMetrics
+	limiter *rateLimiter   // nil unless Options.RateLimit is enabled
+	log     *slog.Logger   // nil unless Options.AccessLog is set
+
+	// Shed counters for requests refused before reaching a shard queue
+	// (queue-full sheds are per-shard, on the shard struct).
+	shedGlobal   atomic.Int64
+	shedClient   atomic.Int64
+	shedDraining atomic.Int64
 }
 
 // New builds a server over substrate g and application set apps. The
@@ -172,6 +203,17 @@ func New(g *graph.Graph, apps []*vnet.App, opts Options) (*Server, error) {
 		sh := newShard(i, eng, st, opts.QueueDepth)
 		sh.hook = opts.testHookProcess
 		s.shards = append(s.shards, sh)
+	}
+	if opts.RateLimit.enabled() {
+		s.limiter = newRateLimiter(opts.RateLimit)
+	}
+	s.log = opts.AccessLog
+	if !opts.DisableMetrics {
+		reg := opts.Registry
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		s.met = newServerMetrics(s, reg)
 	}
 	for _, sh := range s.shards {
 		s.shardWG.Add(1)
@@ -225,6 +267,27 @@ func (s *Server) departureTimer(ctx context.Context) {
 			}
 		}
 	}
+}
+
+// uptime is the time since construction.
+func (s *Server) uptime() time.Duration { return time.Since(s.started) }
+
+// queueShed sums the per-shard queue-full shed counters.
+func (s *Server) queueShed() int64 {
+	var t int64
+	for _, sh := range s.shards {
+		t += sh.shed.Load()
+	}
+	return t
+}
+
+// Metrics returns the server's metric registry (the one behind GET
+// /metrics), or nil when Options.DisableMetrics is set.
+func (s *Server) Metrics() *obs.Registry {
+	if s.met == nil {
+		return nil
+	}
+	return s.met.reg
 }
 
 // clockSlot returns the current real-time slot (0 in deterministic mode;

@@ -3,6 +3,7 @@ package serve
 import (
 	"math"
 	"sync/atomic"
+	"time"
 
 	"github.com/olive-vne/olive/internal/core"
 	"github.com/olive-vne/olive/internal/substrate"
@@ -20,10 +21,11 @@ const (
 // op is one unit of serialized shard work. Embeds carry the request and a
 // reply channel; releases carry the request ID.
 type op struct {
-	kind  opKind
-	req   workload.Request
-	id    int
-	reply chan result
+	kind     opKind
+	req      workload.Request
+	id       int
+	reply    chan result
+	enqueued time.Time // queue-wait measurement; zero when metrics are off
 }
 
 // result is a shard's decision for one op.
@@ -51,6 +53,7 @@ type shard struct {
 	now     int     // virtual clock, owned by run()
 	baseRes float64 // Σ residual at construction (the shard's capacity slice)
 	hook    func(shard int)
+	met     *shardMetrics // latency histograms; nil when metrics are off
 
 	// Counters read by /stats from other goroutines.
 	processed atomic.Int64
@@ -58,6 +61,7 @@ type shard struct {
 	rejected  atomic.Int64
 	preempted atomic.Int64
 	released  atomic.Int64
+	shed      atomic.Int64 // requests refused because this queue was full
 	active    atomic.Int64
 	utilBits  atomic.Uint64 // float64 bits of 1 - Σres/baseRes
 }
@@ -137,7 +141,17 @@ func (sh *shard) handleEmbed(o op) {
 	r := o.req
 	r.Arrive = sh.now // engine contract: requests arrive at the current slot
 
+	if sh.met != nil && !o.enqueued.IsZero() {
+		sh.met.queueWait.Observe(time.Since(o.enqueued).Seconds())
+	}
+	t0 := time.Time{}
+	if sh.met != nil {
+		t0 = time.Now()
+	}
 	out, err := sh.eng.Process(r)
+	if sh.met != nil {
+		sh.met.solveDur.Observe(time.Since(t0).Seconds())
+	}
 	sh.processed.Add(1)
 	res := result{slot: sh.now, err: err}
 	if err == nil && out.Accepted {
@@ -155,6 +169,11 @@ func (sh *shard) handleEmbed(o op) {
 		sh.rejected.Add(1)
 	}
 	o.reply <- res
+}
+
+// utilization reads the last published allocated fraction.
+func (sh *shard) utilization() float64 {
+	return math.Float64frombits(sh.utilBits.Load())
 }
 
 // refreshGauges republishes the active-count and utilization gauges after

@@ -6,6 +6,9 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/olive-vne/olive/internal/lp"
+	"github.com/olive-vne/olive/internal/plan"
 )
 
 // latencyRing keeps the most recent decision latencies for quantile
@@ -34,15 +37,21 @@ func (l *latencyRing) record(d time.Duration) {
 	l.next = (l.next + 1) % len(l.buf)
 }
 
-// quantiles returns the p50 and p99 of the retained window.
-func (l *latencyRing) quantiles() (p50, p99 time.Duration, samples int64) {
+// ringQuantiles is one snapshot of the retained latency window.
+type ringQuantiles struct {
+	P50, P90, P99, P999 time.Duration
+	Samples             int64
+}
+
+// quantiles returns the tail quantiles of the retained window.
+func (l *latencyRing) quantiles() ringQuantiles {
 	l.mu.Lock()
 	tmp := make([]time.Duration, len(l.buf))
 	copy(tmp, l.buf)
-	samples = l.total
+	samples := l.total
 	l.mu.Unlock()
 	if len(tmp) == 0 {
-		return 0, 0, samples
+		return ringQuantiles{Samples: samples}
 	}
 	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
 	at := func(q float64) time.Duration {
@@ -59,7 +68,13 @@ func (l *latencyRing) quantiles() (p50, p99 time.Duration, samples int64) {
 		}
 		return tmp[i]
 	}
-	return at(0.50), at(0.99), samples
+	return ringQuantiles{
+		P50:     at(0.50),
+		P90:     at(0.90),
+		P99:     at(0.99),
+		P999:    at(0.999),
+		Samples: samples,
+	}
 }
 
 func (s *Server) recordRevenue(v float64) {
@@ -83,6 +98,9 @@ type ShardStats struct {
 	Active    int64 `json:"active"`
 	Queue     int   `json:"queue"`
 	QueueCap  int   `json:"queue_cap"`
+	// Shed counts requests answered 429 because this shard's queue was
+	// full (counted at the HTTP layer; the shard never saw them).
+	Shed int64 `json:"shed"`
 	// Utilization is the allocated fraction of this shard's capacity
 	// slice (1 − Σresidual/Σslice).
 	Utilization float64 `json:"utilization"`
@@ -102,6 +120,12 @@ type StatsResponse struct {
 		Preempted      int64   `json:"preempted"`
 		Released       int64   `json:"released"`
 		AcceptanceRate float64 `json:"acceptance_rate"`
+		// Shed is the queue-full 429 total across shards; RateLimited is
+		// the admission-control 429 total (global + per-client buckets).
+		// Neither is included in Total: shed requests never reached an
+		// engine.
+		Shed        int64 `json:"shed"`
+		RateLimited int64 `json:"rate_limited"`
 	} `json:"requests"`
 
 	// Revenue is Σ demand·duration over accepted requests (the VNE
@@ -110,9 +134,22 @@ type StatsResponse struct {
 
 	Latency struct {
 		P50US   int64 `json:"p50_us"`
+		P90US   int64 `json:"p90_us"`
 		P99US   int64 `json:"p99_us"`
+		P999US  int64 `json:"p999_us"`
 		Samples int64 `json:"samples"`
 	} `json:"latency"`
+
+	// LP aggregates the process-wide solver counters (the daemon owns
+	// the process, so they are effectively server counters).
+	LP struct {
+		Solves           int64 `json:"solves"`
+		WarmAttempts     int64 `json:"warm_attempts"`
+		WarmHits         int64 `json:"warm_hits"`
+		Pivots           int64 `json:"pivots"`
+		Refactorizations int64 `json:"refactorizations"`
+		PlanBuilds       int64 `json:"plan_builds"`
+	} `json:"lp"`
 
 	PerShard []ShardStats `json:"per_shard"`
 }
@@ -133,7 +170,8 @@ func (s *Server) Stats() StatsResponse {
 			Active:      sh.active.Load(),
 			Queue:       len(sh.queue),
 			QueueCap:    cap(sh.queue),
-			Utilization: math.Float64frombits(sh.utilBits.Load()),
+			Shed:        sh.shed.Load(),
+			Utilization: sh.utilization(),
 		}
 		out.PerShard = append(out.PerShard, ss)
 		out.Requests.Total += ss.Processed
@@ -141,15 +179,26 @@ func (s *Server) Stats() StatsResponse {
 		out.Requests.Rejected += ss.Rejected
 		out.Requests.Preempted += sh.preempted.Load()
 		out.Requests.Released += sh.released.Load()
+		out.Requests.Shed += ss.Shed
 	}
 	if out.Requests.Total > 0 {
 		out.Requests.AcceptanceRate = float64(out.Requests.Accepted) / float64(out.Requests.Total)
 	}
+	out.Requests.RateLimited = s.shedGlobal.Load() + s.shedClient.Load()
 	out.Revenue = s.readRevenue()
-	p50, p99, n := s.lat.quantiles()
-	out.Latency.P50US = p50.Microseconds()
-	out.Latency.P99US = p99.Microseconds()
-	out.Latency.Samples = n
+	q := s.lat.quantiles()
+	out.Latency.P50US = q.P50.Microseconds()
+	out.Latency.P90US = q.P90.Microseconds()
+	out.Latency.P99US = q.P99.Microseconds()
+	out.Latency.P999US = q.P999.Microseconds()
+	out.Latency.Samples = q.Samples
+	lps := lp.Stats()
+	out.LP.Solves = lps.Solves
+	out.LP.WarmAttempts = lps.WarmAttempts
+	out.LP.WarmHits = lps.WarmHits
+	out.LP.Pivots = lps.Pivots
+	out.LP.Refactorizations = lps.Refactorizations
+	out.LP.PlanBuilds = plan.Stats().Builds
 	return out
 }
 

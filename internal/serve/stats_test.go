@@ -28,15 +28,21 @@ func TestLatencyRingQuantilesNearestRank(t *testing.T) {
 		for v := tc.n; v >= 1; v-- {
 			l.record(time.Duration(v) * time.Microsecond)
 		}
-		p50, p99, samples := l.quantiles()
-		if samples != int64(tc.n) {
-			t.Errorf("n=%d: samples = %d", tc.n, samples)
+		q := l.quantiles()
+		if q.Samples != int64(tc.n) {
+			t.Errorf("n=%d: samples = %d", tc.n, q.Samples)
 		}
-		if p50 != tc.wantP50 {
-			t.Errorf("n=%d: p50 = %v, want %v", tc.n, p50, tc.wantP50)
+		if q.P50 != tc.wantP50 {
+			t.Errorf("n=%d: p50 = %v, want %v", tc.n, q.P50, tc.wantP50)
 		}
-		if p99 != tc.wantP99 {
-			t.Errorf("n=%d: p99 = %v, want %v (the tail sample, not a mid-ranked one)", tc.n, p99, tc.wantP99)
+		if q.P99 != tc.wantP99 {
+			t.Errorf("n=%d: p99 = %v, want %v (the tail sample, not a mid-ranked one)", tc.n, q.P99, tc.wantP99)
+		}
+		if q.P999 != time.Duration(tc.n)*time.Microsecond {
+			t.Errorf("n=%d: p999 = %v, want the max sample %dµs", tc.n, q.P999, tc.n)
+		}
+		if q.P90 < q.P50 || q.P99 < q.P90 || q.P999 < q.P99 {
+			t.Errorf("n=%d: quantiles not monotone: %+v", tc.n, q)
 		}
 	}
 }
@@ -46,21 +52,21 @@ func TestLatencyRingQuantilesNearestRank(t *testing.T) {
 // window, total over everything recorded).
 func TestLatencyRingEmptyAndOverflow(t *testing.T) {
 	l := newLatencyRing(4)
-	p50, p99, samples := l.quantiles()
-	if p50 != 0 || p99 != 0 || samples != 0 {
-		t.Fatalf("empty ring: got p50=%v p99=%v samples=%d", p50, p99, samples)
+	q := l.quantiles()
+	if q.P50 != 0 || q.P99 != 0 || q.Samples != 0 {
+		t.Fatalf("empty ring: got %+v", q)
 	}
 	for v := 1; v <= 10; v++ { // retains 7,8,9,10
 		l.record(time.Duration(v) * time.Millisecond)
 	}
-	p50, p99, samples = l.quantiles()
-	if samples != 10 {
-		t.Fatalf("samples = %d, want 10", samples)
+	q = l.quantiles()
+	if q.Samples != 10 {
+		t.Fatalf("samples = %d, want 10", q.Samples)
 	}
-	if p50 != 8*time.Millisecond { // ⌈0.5·4⌉ = 2nd of {7,8,9,10}
-		t.Errorf("p50 = %v, want 8ms", p50)
+	if q.P50 != 8*time.Millisecond { // ⌈0.5·4⌉ = 2nd of {7,8,9,10}
+		t.Errorf("p50 = %v, want 8ms", q.P50)
 	}
-	if p99 != 10*time.Millisecond { // ⌈0.99·4⌉ = 4th
-		t.Errorf("p99 = %v, want 10ms", p99)
+	if q.P99 != 10*time.Millisecond { // ⌈0.99·4⌉ = 4th
+		t.Errorf("p99 = %v, want 10ms", q.P99)
 	}
 }
