@@ -1,0 +1,46 @@
+# Developer conveniences; CI runs the underlying commands directly
+# (.github/workflows/ci.yml) so this file is never load-bearing.
+
+BASELINE := testdata/bench_baseline.json
+
+.PHONY: test race bench-report
+
+test:
+	go build ./... && go test ./...
+
+race:
+	go test -race ./internal/serve/... ./internal/runner/... \
+	    ./internal/substrate/... ./internal/lp/...
+
+# Emit a machine-readable perf snapshot (bench_report.json) of every
+# benchmark the CI guard pins, run under the guard's exact conditions
+# (GOMAXPROCS + per-bench benchtime from the baseline file). Rename the
+# output to BENCH_<pr>.json and fill in before/after when a perf PR
+# lands — see CONTRIBUTING.md "Benchmark baseline".
+bench-report:
+	@export GOMAXPROCS=$$(jq -r '.gomaxprocs // 1' $(BASELINE)); \
+	n=$$(jq '.benchmarks | length' $(BASELINE)); \
+	rows=""; \
+	for i in $$(seq 0 $$((n - 1))); do \
+	    name=$$(jq -r ".benchmarks[$$i].benchmark" $(BASELINE)); \
+	    pkg=$$(jq -r ".benchmarks[$$i].package" $(BASELINE)); \
+	    btime=$$(jq -r ".benchmarks[$$i].benchtime // \"1x\"" $(BASELINE)); \
+	    echo "bench-report: $$name ($$pkg, -benchtime=$$btime)" >&2; \
+	    out=$$(go test -run=NONE -bench="^$$name\$$" -benchtime="$$btime" -benchmem "$$pkg") || exit 1; \
+	    row=$$(echo "$$out" | awk -v n="$$name" -v p="$$pkg" -v bt="$$btime" ' \
+	        $$1 ~ ("^" n) { \
+	            ns = allocs = bytes = "null"; \
+	            for (k = 1; k < NF; k++) { \
+	                if ($$(k+1) == "ns/op") ns = $$k; \
+	                if ($$(k+1) == "allocs/op") allocs = $$k; \
+	                if ($$(k+1) == "B/op") bytes = $$k; \
+	            } \
+	            printf "{\"benchmark\":\"%s\",\"package\":\"%s\",\"benchtime\":\"%s\",\"ns_per_op\":%s,\"allocs_per_op\":%s,\"bytes_per_op\":%s}", n, p, bt, ns, allocs, bytes; \
+	        }'); \
+	    [ -n "$$row" ] || { echo "bench-report: no output row for $$name" >&2; exit 1; }; \
+	    rows="$$rows$${rows:+,}$$row"; \
+	done; \
+	printf '%s' "[$$rows]" | jq "{date: \"$$(date -u +%Y-%m-%d)\", go: \"$$(go env GOVERSION) $$(go env GOOS)/$$(go env GOARCH)\", gomaxprocs: $$GOMAXPROCS, benchmarks: .}" \
+	    > bench_report.json; \
+	echo "bench-report: wrote bench_report.json" >&2; \
+	jq . bench_report.json

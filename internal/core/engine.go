@@ -7,7 +7,6 @@
 package core
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -94,6 +93,10 @@ type Engine struct {
 	// Preemption scratch, reused across Process calls.
 	preDeficit map[graph.ElementID]float64
 	preCands   []*activeReq
+
+	// freeReqs recycles activeReq records between departure and the next
+	// arrival, so steady-state churn allocates none.
+	freeReqs []*activeReq
 }
 
 type activeReq struct {
@@ -109,18 +112,49 @@ type departure struct {
 	id   int
 }
 
+// departureHeap is a concrete min-heap on departure slot. It deliberately
+// does not implement container/heap — the interface round-trips every
+// pushed and popped element through interface{}, boxing one 16-byte
+// struct per call on the hottest per-request path.
 type departureHeap []departure
 
-func (h departureHeap) Len() int            { return len(h) }
-func (h departureHeap) Less(i, j int) bool  { return h[i].slot < h[j].slot }
-func (h departureHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *departureHeap) Push(x interface{}) { *h = append(*h, x.(departure)) }
-func (h *departureHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	d := old[n-1]
-	*h = old[:n-1]
-	return d
+func (h *departureHeap) push(d departure) {
+	*h = append(*h, d)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent].slot <= q[i].slot {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+}
+
+func (h *departureHeap) pop() departure {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && q[r].slot < q[c].slot {
+			c = r
+		}
+		if q[i].slot <= q[c].slot {
+			break
+		}
+		q[i], q[c] = q[c], q[i]
+		i = c
+	}
+	return top
 }
 
 // NewEngine builds an engine over a fresh substrate state (residuals at
@@ -184,6 +218,14 @@ func (e *Engine) Algorithm() Algorithm {
 // returned slice cannot affect engine state; diagnostics may keep it.
 func (e *Engine) Residual() []float64 { return e.st.ResidualSnapshot(nil) }
 
+// ResidualView returns the engine's live residual vector without
+// copying, for internal hot paths that read it every request. The slice
+// aliases engine state: callers must not mutate it, and must not hold
+// it across Process/StartSlot calls expecting a snapshot — it reflects
+// every subsequent allocation. Anything that needs an independent copy
+// uses Residual.
+func (e *Engine) ResidualView() []float64 { return e.st.ResidualVec() }
+
 // State returns the substrate state this engine operates on.
 func (e *Engine) State() *substrate.State { return e.st }
 
@@ -195,7 +237,7 @@ func (e *Engine) ActiveCount() int { return len(e.active) }
 func (e *Engine) StartSlot(t int) {
 	e.now = t
 	for len(e.depHeap) > 0 && e.depHeap[0].slot <= t {
-		d := heap.Pop(&e.depHeap).(departure)
+		d := e.depHeap.pop()
 		ar, ok := e.active[d.id]
 		if !ok || ar.req.Departs() > t {
 			continue // departed earlier via preemption, or re-scheduled
@@ -210,6 +252,11 @@ func (e *Engine) release(ar *activeReq) {
 		e.shareRes[ar.classIdx][ar.shareIdx] += ar.req.Demand
 	}
 	delete(e.active, ar.req.ID)
+	// Recycle the record. The embedding pointer is dropped so the free
+	// list cannot pin released embeddings; req stays readable because
+	// preempt reports IDs right after releasing.
+	ar.emb = nil
+	e.freeReqs = append(e.freeReqs, ar)
 }
 
 // ReleaseByID releases the active request with the given ID before its
@@ -262,13 +309,20 @@ func (e *Engine) Process(r workload.Request) (Outcome, error) {
 
 	// ALLOCATE (Alg. 2 lines 18–22).
 	e.st.Apply(emb, r.Demand)
-	ar := &activeReq{req: r, emb: emb, planned: planned, classIdx: -1, shareIdx: -1}
+	var ar *activeReq
+	if n := len(e.freeReqs); n > 0 {
+		ar = e.freeReqs[n-1]
+		e.freeReqs = e.freeReqs[:n-1]
+	} else {
+		ar = new(activeReq)
+	}
+	*ar = activeReq{req: r, emb: emb, planned: planned, classIdx: -1, shareIdx: -1}
 	if planned {
 		ar.classIdx, ar.shareIdx = classIdx, shareIdx
 		e.shareRes[classIdx][shareIdx] -= r.Demand
 	}
 	e.active[r.ID] = ar
-	heap.Push(&e.depHeap, departure{slot: r.Departs(), id: r.ID})
+	e.depHeap.push(departure{slot: r.Departs(), id: r.ID})
 	out.Accepted = true
 	out.Planned = planned
 	out.Emb = emb

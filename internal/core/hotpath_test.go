@@ -44,6 +44,47 @@ func TestResidualDefensiveCopy(t *testing.T) {
 	}
 }
 
+// TestResidualViewIsLive pins down the other half of the residual
+// contract: ResidualView must NOT copy — it aliases the live vector, so
+// internal callers get allocation-free reads that track every
+// subsequent embedding.
+func TestResidualViewIsLive(t *testing.T) {
+	g := tinySubstrate()
+	app := tinyApp()
+	e, err := NewEngine(g, []*vnet.App{app}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.StartSlot(0)
+
+	view := e.ResidualView()
+	if &view[0] != &e.ResidualView()[0] {
+		t.Fatal("ResidualView returned distinct backing arrays; it must alias live state, not copy")
+	}
+	before := append([]float64(nil), view...)
+
+	if out, err := e.Process(req(0, 0, 0, 10, 0, 5)); err != nil || !out.Accepted {
+		t.Fatalf("Process = (%+v, %v), want accepted", out, err)
+	}
+	changed := false
+	for i := range view {
+		if view[i] != before[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("accepted embedding did not show through ResidualView; the view is stale or a copy")
+	}
+	// The view and the copying accessor agree on content.
+	snap := e.Residual()
+	for i := range snap {
+		if snap[i] != view[i] {
+			t.Fatalf("element %d: Residual()=%g disagrees with ResidualView()=%g", i, snap[i], view[i])
+		}
+	}
+}
+
 // TestNoAllPairsInPerRequestPath hooks the graph layer's AllPairs counter
 // to verify the substrate-state contract: neither engine construction nor
 // any per-request processing — including FULLG's capacity branch-out

@@ -329,12 +329,13 @@ func (o *Oracle) buildCollocated(app *vnet.App, ingress, u graph.NodeID) (*vnet.
 	if !ok {
 		return nil, 0, false
 	}
-	var rootPath graph.Path
+	// One shared single-node path serves every collocated virtual link —
+	// paths are immutable once inside an Embedding.
+	selfPath := graph.Path{Nodes: []graph.NodeID{u}}
+	rootPath := selfPath
 	if ingress != u {
 		// collocPrice found a finite distance, so the path exists.
 		rootPath, _ = o.st.PathBetween(ingress, u)
-	} else {
-		rootPath = graph.Path{Nodes: []graph.NodeID{u}}
 	}
 	nodeMap := make([]graph.NodeID, len(app.VNFs))
 	nodeMap[vnet.Root] = ingress
@@ -346,7 +347,7 @@ func (o *Oracle) buildCollocated(app *vnet.App, ingress, u graph.NodeID) (*vnet.
 		if l.From == vnet.Root {
 			pathMap[li] = rootPath
 		} else {
-			pathMap[li] = graph.Path{Nodes: []graph.NodeID{u}}
+			pathMap[li] = selfPath
 		}
 	}
 	e, err := vnet.NewEmbedding(o.g, app, nodeMap, pathMap)

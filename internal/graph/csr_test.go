@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCSRMatchesReferenceAdjacency property-tests the packed CSR layout
+// against a reference adjacency built directly from the link list:
+// identical degrees, identical per-node incident sequences (CSR must
+// preserve insertion order — Dijkstra's tie-breaking depends on it),
+// correct opposite endpoints, and identical shortest-path costs against
+// a brute-force Bellman–Ford.
+func TestCSRMatchesReferenceAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		g := New()
+		for i := 0; i < n; i++ {
+			g.AddNode(Node{Cap: 1, Cost: 1})
+		}
+		m := rng.Intn(4 * n)
+		for i := 0; i < m; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				g.AddLink(NodeID(a), NodeID(b), 1, 1)
+			}
+		}
+
+		// Reference: incident links per node in insertion order.
+		ref := make([][]LinkID, n)
+		for lid := 0; lid < g.NumLinks(); lid++ {
+			l := g.Link(LinkID(lid))
+			ref[l.From] = append(ref[l.From], l.ID)
+			ref[l.To] = append(ref[l.To], l.ID)
+		}
+
+		for u := 0; u < n; u++ {
+			inc := g.Incident(NodeID(u))
+			if g.Degree(NodeID(u)) != len(ref[u]) || len(inc) != len(ref[u]) {
+				t.Fatalf("trial %d: node %d degree CSR=%d ref=%d", trial, u, len(inc), len(ref[u]))
+			}
+			adj := g.adjacency()
+			for k, lid := range inc {
+				if lid != ref[u][k] {
+					t.Fatalf("trial %d: node %d incident[%d] CSR=%d ref=%d (order must be insertion order)",
+						trial, u, k, lid, ref[u][k])
+				}
+				l := g.Link(lid)
+				other := adj.other[int(adj.off[u])+k]
+				if want := l.From + l.To - NodeID(u); other != want {
+					t.Fatalf("trial %d: CSR other endpoint of link %d at node %d: got %d want %d",
+						trial, lid, u, other, want)
+				}
+			}
+		}
+
+		// Mutation after a CSR build must invalidate it.
+		g.Incident(0)
+		w := g.AddLink(0, NodeID(1), 1, 1)
+		found := false
+		for _, lid := range g.Incident(0) {
+			if lid == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: CSR stale after AddLink", trial)
+		}
+
+		// Shortest-path costs vs Bellman–Ford over the raw link list.
+		lw := make([]float64, g.NumLinks())
+		for i := range lw {
+			lw[i] = 0.1 + rng.Float64()
+		}
+		src := NodeID(rng.Intn(n))
+		tree := g.DijkstraLinkWeightsInto(nil, src, lw)
+		dist := make([]float64, n)
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		dist[src] = 0
+		for it := 0; it < n; it++ {
+			for lid := 0; lid < g.NumLinks(); lid++ {
+				l := g.Link(LinkID(lid))
+				if d := dist[l.From] + lw[lid]; d < dist[l.To] {
+					dist[l.To] = d
+				}
+				if d := dist[l.To] + lw[lid]; d < dist[l.From] {
+					dist[l.From] = d
+				}
+			}
+		}
+		for i := range dist {
+			if math.Abs(tree.Dist[i]-dist[i]) > 1e-12 && !(math.IsInf(tree.Dist[i], 1) && math.IsInf(dist[i], 1)) {
+				t.Fatalf("trial %d: dist %d→%d CSR-Dijkstra %v != Bellman-Ford %v", trial, src, i, tree.Dist[i], dist[i])
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Tier classifies a substrate node within the three-tier mobile access
@@ -87,13 +88,32 @@ func (l Link) Other(n NodeID) NodeID {
 // [NumNodes, NumNodes+NumLinks).
 type ElementID int
 
+// csrAdj is the compressed-sparse-row adjacency of a graph: the incident
+// links of node n are link[off[n]:off[n+1]], with other holding the
+// opposite endpoints in parallel, so traversals walk contiguous memory
+// instead of chasing one heap slice per node. Per-node order matches
+// construction (AddLink) order exactly — Dijkstra's relaxation order,
+// and with it every tie-break downstream, is unchanged. A csrAdj is
+// immutable once published.
+type csrAdj struct {
+	off   []int32
+	link  []LinkID
+	other []NodeID
+}
+
 // Graph is an undirected substrate network. The zero value is an empty
 // graph ready for AddNode/AddLink.
 type Graph struct {
 	nodes []Node
 	links []Link
-	// adj[n] lists the incident links of node n.
+	// adj[n] lists the incident links of node n in insertion order; it
+	// is the construction-time source of truth the CSR layout is packed
+	// from.
 	adj [][]LinkID
+	// csr caches the packed adjacency, built lazily and invalidated by
+	// AddNode/AddLink. Concurrent builders race benignly (identical
+	// results, last write wins).
+	csr atomic.Pointer[csrAdj]
 }
 
 // New returns an empty substrate graph.
@@ -105,6 +125,7 @@ func (g *Graph) AddNode(n Node) NodeID {
 	n.ID = NodeID(len(g.nodes))
 	g.nodes = append(g.nodes, n)
 	g.adj = append(g.adj, nil)
+	g.csr.Store(nil)
 	return n.ID
 }
 
@@ -119,7 +140,35 @@ func (g *Graph) AddLink(from, to NodeID, cap, cost float64) LinkID {
 	g.links = append(g.links, Link{ID: id, From: from, To: to, Cap: cap, Cost: cost})
 	g.adj[from] = append(g.adj[from], id)
 	g.adj[to] = append(g.adj[to], id)
+	g.csr.Store(nil)
 	return id
+}
+
+// adjacency returns the packed CSR adjacency, building it on first use.
+func (g *Graph) adjacency() *csrAdj {
+	if c := g.csr.Load(); c != nil {
+		return c
+	}
+	n := len(g.nodes)
+	c := &csrAdj{
+		off:   make([]int32, n+1),
+		link:  make([]LinkID, 2*len(g.links)),
+		other: make([]NodeID, 2*len(g.links)),
+	}
+	pos := int32(0)
+	for i := 0; i < n; i++ {
+		c.off[i] = pos
+		for _, lid := range g.adj[i] {
+			c.link[pos] = lid
+			c.other[pos] = g.links[lid].Other(NodeID(i))
+			pos++
+		}
+	}
+	c.off[n] = pos
+	c.link = c.link[:pos]
+	c.other = c.other[:pos]
+	g.csr.Store(c)
+	return c
 }
 
 // NumNodes returns the number of nodes.
@@ -144,9 +193,13 @@ func (g *Graph) Nodes() []Node { return g.nodes }
 // Links returns the link slice. The slice must not be mutated by callers.
 func (g *Graph) Links() []Link { return g.links }
 
-// Incident returns the IDs of links incident to node n. The returned slice
-// must not be mutated.
-func (g *Graph) Incident(n NodeID) []LinkID { return g.adj[n] }
+// Incident returns the IDs of links incident to node n, in insertion
+// order — a view into the packed CSR adjacency. The returned slice must
+// not be mutated.
+func (g *Graph) Incident(n NodeID) []LinkID {
+	c := g.adjacency()
+	return c.link[c.off[n]:c.off[n+1]:c.off[n+1]]
+}
 
 // SetNodeCap overwrites the capacity of node id.
 func (g *Graph) SetNodeCap(id NodeID, cap float64) { g.nodes[id].Cap = cap }
@@ -326,15 +379,25 @@ func (g *Graph) Connected() bool {
 func (g *Graph) Degree(n NodeID) int { return len(g.adj[n]) }
 
 // Clone returns a deep copy of the graph. Mutating the clone (capacities,
-// GPU flags) leaves the original untouched.
+// GPU flags, added links) leaves the original untouched. The per-node
+// adjacency lists share one backing array — safe because AddLink on
+// either graph reallocates the appended list (each inner slice is at
+// full capacity) and rebuilds its own CSR cache.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		nodes: append([]Node(nil), g.nodes...),
 		links: append([]Link(nil), g.links...),
 		adj:   make([][]LinkID, len(g.adj)),
 	}
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	backing := make([]LinkID, 0, total)
 	for i, a := range g.adj {
-		c.adj[i] = append([]LinkID(nil), a...)
+		start := len(backing)
+		backing = append(backing, a...)
+		c.adj[i] = backing[start:len(backing):len(backing)]
 	}
 	return c
 }

@@ -142,6 +142,7 @@ func (g *Graph) DijkstraInto(t *ShortestPathTree, src NodeID, w WeightFunc) *Sho
 		t.prevLink[i] = -1
 	}
 	t.Dist[src] = 0
+	adj := g.adjacency()
 	pq := t.pq[:0]
 	pq.push(pqItem{node: src, dist: 0})
 	for len(pq) > 0 {
@@ -149,13 +150,65 @@ func (g *Graph) DijkstraInto(t *ShortestPathTree, src NodeID, w WeightFunc) *Sho
 		if it.dist > t.Dist[it.node] {
 			continue // stale entry
 		}
-		for _, lid := range g.adj[it.node] {
-			l := g.links[lid]
-			wl := w(l)
+		// The CSR walk visits incident links in exactly the per-node
+		// insertion order the old [][]LinkID layout had, so equal-distance
+		// relaxations resolve identically.
+		for p, end := adj.off[it.node], adj.off[it.node+1]; p < end; p++ {
+			lid := adj.link[p]
+			wl := w(g.links[lid])
 			if math.IsInf(wl, 1) {
 				continue
 			}
-			m := l.Other(it.node)
+			m := adj.other[p]
+			if d := it.dist + wl; d < t.Dist[m] {
+				t.Dist[m] = d
+				t.prevLink[m] = lid
+				pq.push(pqItem{node: m, dist: d})
+			}
+		}
+	}
+	t.pq = pq
+	return t
+}
+
+// DijkstraLinkWeightsInto is DijkstraInto with weights given as a dense
+// per-link vector (lw[lid], +Inf to forbid a link) instead of a
+// callback. The substrate layer's price-driven trees use it: their
+// weight lookup is a plain slice index, and skipping the closure and the
+// Link copy per scanned edge roughly halves the relaxation loop's cost.
+// Results are bit-identical to DijkstraInto with w(l) == lw[l.ID].
+func (g *Graph) DijkstraLinkWeightsInto(t *ShortestPathTree, src NodeID, lw []float64) *ShortestPathTree {
+	n := len(g.nodes)
+	if t == nil || cap(t.Dist) < n || cap(t.prevLink) < n {
+		t = &ShortestPathTree{
+			Dist:     make([]float64, n),
+			prevLink: make([]LinkID, n),
+		}
+	}
+	t.Source = src
+	t.g = g
+	t.Dist = t.Dist[:n]
+	t.prevLink = t.prevLink[:n]
+	for i := range t.Dist {
+		t.Dist[i] = math.Inf(1)
+		t.prevLink[i] = -1
+	}
+	t.Dist[src] = 0
+	adj := g.adjacency()
+	pq := t.pq[:0]
+	pq.push(pqItem{node: src, dist: 0})
+	for len(pq) > 0 {
+		it := pq.pop()
+		if it.dist > t.Dist[it.node] {
+			continue // stale entry
+		}
+		for p, end := adj.off[it.node], adj.off[it.node+1]; p < end; p++ {
+			lid := adj.link[p]
+			wl := lw[lid]
+			if math.IsInf(wl, 1) {
+				continue
+			}
+			m := adj.other[p]
 			if d := it.dist + wl; d < t.Dist[m] {
 				t.Dist[m] = d
 				t.prevLink[m] = lid
@@ -173,22 +226,20 @@ func (t *ShortestPathTree) PathTo(dst NodeID) (Path, bool) {
 	if math.IsInf(t.Dist[dst], 1) {
 		return Path{}, false
 	}
-	var links []LinkID
-	for n := dst; n != t.Source; {
+	// Walk once to count hops, then fill two exact-size slices back to
+	// front — no append growth in this hot reconstruction path.
+	hops := 0
+	for n := dst; n != t.Source; hops++ {
+		n = t.g.links[t.prevLink[n]].Other(n)
+	}
+	links := make([]LinkID, hops)
+	nodes := make([]NodeID, hops+1)
+	nodes[hops] = dst
+	for n, i := dst, hops-1; i >= 0; i-- {
 		lid := t.prevLink[n]
-		links = append(links, lid)
+		links[i] = lid
 		n = t.g.links[lid].Other(n)
-	}
-	// Reverse into forward order.
-	for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
-		links[i], links[j] = links[j], links[i]
-	}
-	nodes := make([]NodeID, 0, len(links)+1)
-	nodes = append(nodes, t.Source)
-	cur := t.Source
-	for _, lid := range links {
-		cur = t.g.links[lid].Other(cur)
-		nodes = append(nodes, cur)
+		nodes[i] = n
 	}
 	return Path{Nodes: nodes, Links: links, Cost: t.Dist[dst]}, true
 }

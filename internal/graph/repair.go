@@ -1,0 +1,259 @@
+package graph
+
+import "math"
+
+// This file implements incremental repair of single-source shortest-path
+// trees under link-weight deltas — the classic dynamic-SSSP
+// teardown-and-re-relax scheme, hardened to a much stricter contract
+// than metric correctness: a successful repair is guaranteed
+// *bit-identical* (Dist and parent links) to recomputing the tree from
+// scratch with DijkstraLinkWeightsInto. The substrate layer leans on
+// that guarantee to keep golden fingerprints stable while skipping full
+// recomputes when consecutive pricing rounds move only a few links.
+//
+// The key idea is the tie-free invariant. A Dijkstra distance vector is
+// heap-order independent, but parent links are not: when two incident
+// links achieve a node's distance exactly, which one becomes the parent
+// depends on pop order. On a tree where every reachable node has a
+// unique achiever, parent links are weight-determined, so an
+// incremental algorithm that ends in the same metric state provably
+// ends in the same bit state. Repair therefore (a) only runs on trees
+// certified tie-free by TieFreeLinkWeights, and (b) rescans every node
+// whose candidate set could have changed, aborting on any exact tie the
+// new weights introduce. Aborts and oversized damage fall back to the
+// full recompute the caller was going to do anyway.
+
+// LinkDelta records one link's weight change between the weights a tree
+// was computed under (Old) and the current weights (New == lw[Link]).
+type LinkDelta struct {
+	Link     LinkID
+	Old, New float64
+}
+
+// RepairScratch holds the reusable buffers of RepairLinkWeights. The
+// zero value is ready; one scratch serves any number of trees over
+// graphs of any size (not concurrently).
+type RepairScratch struct {
+	damaged []bool
+	mark    []uint8 // bit 0: dist/parent touched, bit 1: queued for tie check
+	dlist   []NodeID
+	touched []NodeID
+	check   []NodeID
+	queue   []NodeID
+}
+
+func (sc *RepairScratch) init(n int) {
+	if cap(sc.damaged) < n {
+		sc.damaged = make([]bool, n)
+		sc.mark = make([]uint8, n)
+	}
+	sc.damaged = sc.damaged[:n]
+	sc.mark = sc.mark[:n]
+	for i := 0; i < n; i++ {
+		sc.damaged[i] = false
+		sc.mark[i] = 0
+	}
+	sc.dlist = sc.dlist[:0]
+	sc.touched = sc.touched[:0]
+	sc.check = sc.check[:0]
+	sc.queue = sc.queue[:0]
+}
+
+func (sc *RepairScratch) touch(x NodeID) {
+	if sc.mark[x]&1 == 0 {
+		sc.mark[x] |= 1
+		sc.touched = append(sc.touched, x)
+	}
+}
+
+func (sc *RepairScratch) addCheck(x NodeID) {
+	if sc.mark[x]&2 == 0 {
+		sc.mark[x] |= 2
+		sc.check = append(sc.check, x)
+	}
+}
+
+// TieFreeLinkWeights reports whether every reachable non-source node of
+// t has exactly one incident link achieving its distance (Dist[y] +
+// lw[lid] == Dist[x], compared exactly). Tie-free trees have
+// weight-determined parent links — the precondition for bit-exact
+// incremental repair.
+func (t *ShortestPathTree) TieFreeLinkWeights(lw []float64) bool {
+	adj := t.g.adjacency()
+	for x := range t.Dist {
+		if NodeID(x) == t.Source || math.IsInf(t.Dist[x], 1) {
+			continue
+		}
+		cnt := 0
+		for p, end := adj.off[x], adj.off[x+1]; p < end; p++ {
+			w := lw[adj.link[p]]
+			if !math.IsInf(w, 1) && t.Dist[adj.other[p]]+w == t.Dist[x] {
+				if cnt++; cnt > 1 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// RepairLinkWeights incrementally updates t — computed under the old
+// weights implied by dirty — to the current per-link weights lw. It
+// reports whether the repaired tree is guaranteed bit-identical to
+// g.DijkstraLinkWeightsInto(t, t.Source, lw); on false the tree is left
+// in an unusable state and the caller must fully recompute.
+//
+// Preconditions: t was certified tie-free under its old weights, dirty
+// lists exactly the links whose weight changed (Old what the tree saw,
+// New == lw[Link], both finite), weights are non-negative, and the
+// graph is unchanged. Repair aborts (returns false) when the torn-down
+// region exceeds maxDamage nodes or any exact distance tie appears.
+func (t *ShortestPathTree) RepairLinkWeights(sc *RepairScratch, lw []float64, dirty []LinkDelta, maxDamage int) bool {
+	g := t.g
+	adj := g.adjacency()
+	n := len(t.Dist)
+	sc.init(n)
+
+	for _, d := range dirty {
+		if math.IsInf(d.Old, 0) || math.IsInf(d.New, 0) {
+			return false
+		}
+	}
+
+	// Phase 1: tear down the subtrees hanging below increased in-tree
+	// links. Off-tree increases cannot affect any distance (their
+	// candidates were already non-improving and only got worse).
+	for _, d := range dirty {
+		if d.New <= d.Old {
+			continue
+		}
+		l := g.links[d.Link]
+		child := NodeID(-1)
+		if t.prevLink[l.From] == d.Link {
+			child = l.From
+		} else if t.prevLink[l.To] == d.Link {
+			child = l.To
+		}
+		if child < 0 || sc.damaged[child] {
+			continue
+		}
+		sc.damaged[child] = true
+		sc.queue = append(sc.queue, child)
+	}
+	for len(sc.queue) > 0 {
+		y := sc.queue[len(sc.queue)-1]
+		sc.queue = sc.queue[:len(sc.queue)-1]
+		sc.dlist = append(sc.dlist, y)
+		if len(sc.dlist) > maxDamage {
+			return false
+		}
+		for p, end := adj.off[y], adj.off[y+1]; p < end; p++ {
+			m := adj.other[p]
+			if !sc.damaged[m] && t.prevLink[m] == adj.link[p] {
+				sc.damaged[m] = true
+				sc.queue = append(sc.queue, m)
+			}
+		}
+	}
+	for _, x := range sc.dlist {
+		t.Dist[x] = math.Inf(1)
+		t.prevLink[x] = -1
+		sc.touch(x)
+	}
+
+	// Phase 2: seed the heap. Damaged nodes re-enter from their intact
+	// frontier; decreased links seed improvement waves from both ends.
+	pq := t.pq[:0]
+	relax := func(x NodeID, lid LinkID, d float64) {
+		if d < t.Dist[x] {
+			t.Dist[x] = d
+			t.prevLink[x] = lid
+			sc.touch(x)
+			pq.push(pqItem{node: x, dist: d})
+		}
+	}
+	for _, x := range sc.dlist {
+		for p, end := adj.off[x], adj.off[x+1]; p < end; p++ {
+			y := adj.other[p]
+			if sc.damaged[y] {
+				continue
+			}
+			w := lw[adj.link[p]]
+			if !math.IsInf(w, 1) && !math.IsInf(t.Dist[y], 1) {
+				relax(x, adj.link[p], t.Dist[y]+w)
+			}
+		}
+	}
+	for _, d := range dirty {
+		if d.New >= d.Old {
+			continue
+		}
+		l := g.links[d.Link]
+		w := lw[d.Link]
+		if !sc.damaged[l.From] && !sc.damaged[l.To] {
+			if !math.IsInf(t.Dist[l.From], 1) {
+				relax(l.To, d.Link, t.Dist[l.From]+w)
+			}
+			if !math.IsInf(t.Dist[l.To], 1) {
+				relax(l.From, d.Link, t.Dist[l.To]+w)
+			}
+		}
+	}
+
+	// Phase 3: settle the affected region — plain Dijkstra over the
+	// seeded heap, relaxing exactly as the full computation would.
+	for len(pq) > 0 {
+		it := pq.pop()
+		if it.dist > t.Dist[it.node] {
+			continue
+		}
+		for p, end := adj.off[it.node], adj.off[it.node+1]; p < end; p++ {
+			w := lw[adj.link[p]]
+			if math.IsInf(w, 1) {
+				continue
+			}
+			relax(adj.other[p], adj.link[p], it.dist+w)
+		}
+	}
+	t.pq = pq
+
+	// Phase 4: tie verification. A node's full-recompute parent could
+	// differ from the repaired one only if its candidate set changed —
+	// it was touched, neighbors a touched node, or flanks a dirty link.
+	// Each such node must have exactly one achiever, and it must be the
+	// parent the repair chose; anything else aborts. Untouched nodes
+	// with untouched candidates inherit uniqueness from the old tree's
+	// tie-free certificate, so the certificate survives the repair.
+	for _, d := range dirty {
+		l := g.links[d.Link]
+		sc.addCheck(l.From)
+		sc.addCheck(l.To)
+	}
+	for i := 0; i < len(sc.touched); i++ {
+		x := sc.touched[i]
+		sc.addCheck(x)
+		for p, end := adj.off[x], adj.off[x+1]; p < end; p++ {
+			sc.addCheck(adj.other[p])
+		}
+	}
+	for _, x := range sc.check {
+		if x == t.Source || math.IsInf(t.Dist[x], 1) {
+			continue
+		}
+		cnt := 0
+		achiever := LinkID(-1)
+		for p, end := adj.off[x], adj.off[x+1]; p < end; p++ {
+			w := lw[adj.link[p]]
+			if !math.IsInf(w, 1) && t.Dist[adj.other[p]]+w == t.Dist[x] {
+				if cnt++; cnt > 1 {
+					return false
+				}
+				achiever = adj.link[p]
+			}
+		}
+		if cnt != 1 || achiever != t.prevLink[x] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randRepairGraph builds a random connected multigraph with n nodes and
+// roughly density·n extra links on top of a random spanning tree.
+func randRepairGraph(rng *rand.Rand, n int, density float64) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(Node{Cap: 10, Cost: 1})
+	}
+	for i := 1; i < n; i++ {
+		g.AddLink(NodeID(rng.Intn(i)), NodeID(i), 10, 1)
+	}
+	extra := int(density * float64(n))
+	for i := 0; i < extra; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		g.AddLink(NodeID(a), NodeID(b), 10, 1)
+	}
+	return g
+}
+
+// randWeights draws strictly positive irrational-ish weights; exact ties
+// are measure-zero, so almost every tree certifies tie-free.
+func randWeights(rng *rand.Rand, m int) []float64 {
+	lw := make([]float64, m)
+	for i := range lw {
+		lw[i] = 0.1 + rng.Float64()*9.9
+	}
+	return lw
+}
+
+func treesEqual(t *testing.T, a, b *ShortestPathTree) {
+	t.Helper()
+	for i := range a.Dist {
+		if a.Dist[i] != b.Dist[i] && !(math.IsInf(a.Dist[i], 1) && math.IsInf(b.Dist[i], 1)) {
+			t.Fatalf("Dist[%d]: repaired %v != recomputed %v", i, a.Dist[i], b.Dist[i])
+		}
+		if a.prevLink[i] != b.prevLink[i] {
+			t.Fatalf("prevLink[%d]: repaired %d != recomputed %d (dist %v)",
+				i, a.prevLink[i], b.prevLink[i], a.Dist[i])
+		}
+	}
+}
+
+// TestRepairLinkWeightsEquivalence is the randomized bit-exactness
+// guard for incremental tree repair: across many random graphs, weight
+// vectors and delta batches, every repair that reports ok must leave
+// Dist and prevLink bitwise identical to a from-scratch
+// DijkstraLinkWeightsInto under the new weights.
+func TestRepairLinkWeightsEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var sc RepairScratch
+	repaired, aborted := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		n := 8 + rng.Intn(60)
+		g := randRepairGraph(rng, n, 1.5)
+		m := g.NumLinks()
+		lw := randWeights(rng, m)
+
+		src := NodeID(rng.Intn(n))
+		tree := g.DijkstraLinkWeightsInto(nil, src, lw)
+		if !tree.TieFreeLinkWeights(lw) {
+			continue // measure-zero with random weights
+		}
+
+		// Perturb a random batch of links: mixed increases/decreases,
+		// occasionally a change-and-revert no-op.
+		nd := 1 + rng.Intn(6)
+		dirty := make([]LinkDelta, 0, nd)
+		for i := 0; i < nd; i++ {
+			lid := LinkID(rng.Intn(m))
+			dup := false
+			for _, d := range dirty {
+				if d.Link == lid {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			old := lw[lid]
+			switch rng.Intn(5) {
+			case 0: // large increase
+				lw[lid] = old * (1 + 9*rng.Float64())
+			case 1: // decrease
+				lw[lid] = old * rng.Float64()
+			default: // small move either way
+				lw[lid] = old * (0.5 + rng.Float64())
+			}
+			dirty = append(dirty, LinkDelta{Link: lid, Old: old, New: lw[lid]})
+		}
+
+		if tree.RepairLinkWeights(&sc, lw, dirty, n) {
+			repaired++
+			fresh := g.DijkstraLinkWeightsInto(nil, src, lw)
+			treesEqual(t, tree, fresh)
+		} else {
+			aborted++
+		}
+	}
+	if repaired < 100 {
+		t.Fatalf("only %d/400 trials exercised a successful repair (%d aborted) — test is near-vacuous", repaired, aborted)
+	}
+	t.Logf("repaired=%d aborted=%d", repaired, aborted)
+}
+
+// TestRepairLinkWeightsRepeated chains many delta rounds on one tree,
+// repairing when possible and recomputing otherwise — the access
+// pattern of the substrate cache across pricing rounds.
+func TestRepairLinkWeightsRepeated(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randRepairGraph(rng, 80, 2)
+	m := g.NumLinks()
+	lw := randWeights(rng, m)
+	src := NodeID(3)
+
+	var sc RepairScratch
+	tree := g.DijkstraLinkWeightsInto(nil, src, lw)
+	tieFree := tree.TieFreeLinkWeights(lw)
+	repairs := 0
+	for round := 0; round < 200; round++ {
+		nd := 1 + rng.Intn(4)
+		dirty := make([]LinkDelta, 0, nd)
+		for i := 0; i < nd; i++ {
+			lid := LinkID(rng.Intn(m))
+			old := lw[lid]
+			lw[lid] = 0.1 + rng.Float64()*9.9
+			dirty = append(dirty, LinkDelta{Link: lid, Old: old, New: lw[lid]})
+		}
+		if tieFree && tree.RepairLinkWeights(&sc, lw, dirty, len(tree.Dist)) {
+			repairs++
+			fresh := g.DijkstraLinkWeightsInto(nil, src, lw)
+			treesEqual(t, tree, fresh)
+		} else {
+			tree = g.DijkstraLinkWeightsInto(tree, src, lw)
+			tieFree = tree.TieFreeLinkWeights(lw)
+		}
+	}
+	if repairs < 50 {
+		t.Fatalf("only %d/200 rounds repaired — expected most rounds to take the incremental path", repairs)
+	}
+}
+
+// TestRepairAbortsOnTie plants an exact two-path tie and checks that
+// repair refuses rather than guessing a parent.
+func TestRepairAbortsOnTie(t *testing.T) {
+	g := New()
+	for i := 0; i < 4; i++ {
+		g.AddNode(Node{Cap: 1, Cost: 1})
+	}
+	// 0—1—3 and 0—2—3 with equal total weight after the delta.
+	l01 := g.AddLink(0, 1, 1, 1)
+	_ = l01
+	g.AddLink(1, 3, 1, 1)
+	g.AddLink(0, 2, 1, 1)
+	l23 := g.AddLink(2, 3, 1, 1)
+	lw := []float64{1, 2, 1, 5} // paths to 3: 3 via 1, 6 via 2 — unique
+	tree := g.DijkstraLinkWeightsInto(nil, 0, lw)
+	if !tree.TieFreeLinkWeights(lw) {
+		t.Fatal("setup should be tie-free")
+	}
+	old := lw[l23]
+	lw[l23] = 2 // now both paths to 3 cost exactly 3
+	if tree.RepairLinkWeights(&RepairScratch{}, lw, []LinkDelta{{Link: l23, Old: old, New: 2}}, 4) {
+		t.Fatal("repair accepted a graph with an exact shortest-path tie")
+	}
+}
+
+// TestTieFreeLinkWeights checks the certifier on a known tie.
+func TestTieFreeLinkWeights(t *testing.T) {
+	g := New()
+	for i := 0; i < 3; i++ {
+		g.AddNode(Node{Cap: 1, Cost: 1})
+	}
+	g.AddLink(0, 1, 1, 1)
+	g.AddLink(0, 2, 1, 1)
+	g.AddLink(1, 2, 1, 1)
+	lw := []float64{1, 2, 1} // node 2: 0→2 direct = 2, 0→1→2 = 2 — tie
+	tree := g.DijkstraLinkWeightsInto(nil, 0, lw)
+	if tree.TieFreeLinkWeights(lw) {
+		t.Fatal("certifier missed an exact two-achiever tie")
+	}
+	lw[1] = 2.5
+	tree = g.DijkstraLinkWeightsInto(tree, 0, lw)
+	if !tree.TieFreeLinkWeights(lw) {
+		t.Fatal("certifier rejected a tie-free tree")
+	}
+}

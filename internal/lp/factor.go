@@ -72,61 +72,120 @@ type basisLU struct {
 	udiag  []float64
 
 	etas []eta
+	// entArena backs the eta entry slices between refactorizations.
+	entArena arena[spEntry]
 
 	ywork []float64 // scratch, matrix-row space
 	zwork []float64 // scratch, step space
+
+	// Forrest–Tomlin state (see ft.go). ft selects the update scheme for
+	// this factorization epoch; ftLive reports that the mutable U
+	// representation has been built (first FT update). prowU/pcolU are
+	// the *current* step orderings of the mutable U — the frozen
+	// prow/pcol keep serving the L solves.
+	ft       bool
+	ftLive   bool
+	prowU    []int
+	pcolU    []int
+	posStep  []int // basis position → current U step
+	urows    [][]spEntry
+	urowsAlt [][]spEntry
+	udiagM   []float64
+	udiagAlt []float64
+	prowAlt  []int
+	pcolAlt  []int
+	ftArena  [2]arena[spEntry]
+	ftCur    int
+	ftEtas   []ftEta
+	swork    []float64 // scratch, matrix-row space (FT)
+	twork    []float64 // dense elimination workspace (FT)
+	muIdx    []int
+	muVal    []float64
 }
 
-// factorBasis factors the basis given by cols[basis[0..m-1]]. On success
-// it returns the factorization and nil slices. If the basis is
-// numerically rank-deficient it returns lu == nil plus the dependent
-// basis positions and the rows left unpivoted — aligned sets the caller
-// can repair by substituting each position with a logical (slack or
-// artificial) column of one of the rows.
-func factorBasis(m int, cols [][]Entry, basis []int) (lu *basisLU, depPos, depRows []int) {
+// reset prepares lu to be refilled by factorBasis, reusing every buffer.
+func (lu *basisLU) reset(m int) {
+	lu.m = m
+	lu.prow = lu.prow[:0]
+	lu.pcol = lu.pcol[:0]
+	lu.lstart = append(lu.lstart[:0], 0)
+	lu.lrow = lu.lrow[:0]
+	lu.lmult = lu.lmult[:0]
+	lu.ustart = append(lu.ustart[:0], 0)
+	lu.ucol = lu.ucol[:0]
+	lu.uval = lu.uval[:0]
+	lu.udiag = lu.udiag[:0]
+	lu.etas = lu.etas[:0]
+	lu.entArena.reset()
+	lu.ft = false
+	lu.ftLive = false
+	lu.ftEtas = lu.ftEtas[:0]
+}
+
+// factorBasis factors the basis given by cols[basis[0..m-1]] into lu,
+// using ws for all scratch memory. On success it reports ok and nil
+// slices. If the basis is numerically rank-deficient it reports !ok plus
+// the dependent basis positions and the rows left unpivoted — aligned
+// sets the caller can repair by substituting each position with a
+// logical (slack or artificial) column of one of the rows.
+func factorBasis(ws *luWorkspace, lu *basisLU, m int, cols [][]Entry, basis []int) (ok bool, depPos, depRows []int) {
 	// Working rows: rows[i] holds (basis position, value), sorted by
 	// position. Every loop below iterates deterministically — factor
 	// results must be bit-reproducible run to run.
-	rows := make([][]spEntry, m)
+	ws.preCnt = growSlice(ws.preCnt, m)
+	for i := 0; i < m; i++ {
+		ws.preCnt[i] = 0
+	}
+	for _, j := range basis {
+		for _, e := range cols[j] {
+			ws.preCnt[e.Row]++
+		}
+	}
+	ws.rowArena.reset()
+	ws.rows = growSlice(ws.rows, m)
+	rows := ws.rows
+	for i := 0; i < m; i++ {
+		rows[i] = ws.rowArena.take(ws.preCnt[i])
+	}
 	for pos, j := range basis {
 		for _, e := range cols[j] {
 			rows[e.Row] = append(rows[e.Row], spEntry{pos, e.Coef})
 		}
 	}
-	for i := range rows {
+	for i := 0; i < m; i++ {
 		sortEntries(rows[i])
 	}
-	rowActive := make([]bool, m)
-	colActive := make([]bool, m)
+	ws.rowActive = growSlice(ws.rowActive, m)
+	ws.colActive = growSlice(ws.colActive, m)
+	rowActive, colActive := ws.rowActive, ws.colActive
 	for i := 0; i < m; i++ {
 		rowActive[i], colActive[i] = true, true
 	}
 	// colRows[c] lists rows that (may) hold an entry in position c:
 	// fill-in appends, cancellation leaves stale entries that are
 	// re-validated at use.
-	colRows := make([][]int, m)
-	for i, r := range rows {
-		for _, e := range r {
+	ws.colRows = growSlice(ws.colRows, m)
+	colRows := ws.colRows
+	for c := 0; c < m; c++ {
+		colRows[c] = colRows[c][:0]
+	}
+	for i := 0; i < m; i++ {
+		for _, e := range rows[i] {
 			colRows[e.idx] = append(colRows[e.idx], i)
 		}
 	}
 
-	lu = &basisLU{
-		m:      m,
-		prow:   make([]int, 0, m),
-		pcol:   make([]int, 0, m),
-		lstart: make([]int, 1, m+1),
-		ustart: make([]int, 1, m+1),
-		udiag:  make([]float64, 0, m),
-	}
+	lu.reset(m)
 	// uposcol mirrors ucol but in basis-position space during
 	// elimination; converted to step space once the permutation is known.
-	var uposcol []int
+	uposcol := ws.uposcol[:0]
 
-	colMax := make([]float64, m)
-	colCnt := make([]int, m)
-	rowCnt := make([]int, m)
-	seen := make([]int, m) // per-elimination visit stamps for colRows
+	ws.colMax = growSlice(ws.colMax, m)
+	ws.colCnt = growSlice(ws.colCnt, m)
+	ws.rowCnt = growSlice(ws.rowCnt, m)
+	ws.seen = growSlice(ws.seen, m)
+	colMax, colCnt, rowCnt := ws.colMax, ws.colCnt, ws.rowCnt
+	seen := ws.seen // per-elimination visit stamps for colRows
 	for i := range seen {
 		seen[i] = -1
 	}
@@ -227,9 +286,7 @@ func factorBasis(m int, cols [][]Entry, basis []int) (lu *basisLU, depPos, depRo
 			f := v / pivVal
 			lu.lrow = append(lu.lrow, i)
 			lu.lmult = append(lu.lmult, f)
-			rows[i] = rowSub(rows[i], pivRow, f, pivColI, func(c int) {
-				colRows[c] = append(colRows[c], i)
-			})
+			rows[i] = rowSub(&ws.rowArena, rows[i], pivRow, f, pivColI, colRows, i)
 		}
 		lu.lstart = append(lu.lstart, len(lu.lrow))
 
@@ -249,31 +306,33 @@ func factorBasis(m int, cols [][]Entry, basis []int) (lu *basisLU, depPos, depRo
 		activeCols--
 	}
 
+	ws.uposcol = uposcol
 	if len(depPos) > 0 {
 		for i := 0; i < m; i++ {
 			if rowActive[i] {
 				depRows = append(depRows, i)
 			}
 		}
-		return nil, depPos, depRows
+		return false, depPos, depRows
 	}
 
 	// Finalize: permutation inverses and U columns in step space.
-	lu.rowStep = make([]int, m)
-	colStep := make([]int, m)
+	lu.rowStep = growSlice(lu.rowStep, m)
+	ws.colStep = growSlice(ws.colStep, m)
+	colStep := ws.colStep
 	for k, r := range lu.prow {
 		lu.rowStep[r] = k
 	}
 	for k, c := range lu.pcol {
 		colStep[c] = k
 	}
-	lu.ucol = make([]int, len(uposcol))
+	lu.ucol = growSlice(lu.ucol, len(uposcol))
 	for t, c := range uposcol {
 		lu.ucol[t] = colStep[c]
 	}
-	lu.ywork = make([]float64, m)
-	lu.zwork = make([]float64, m)
-	return lu, nil, nil
+	lu.ywork = growSlice(lu.ywork, m)
+	lu.zwork = growSlice(lu.zwork, m)
+	return true, nil, nil
 }
 
 // sortEntries sorts a sparse row by position (insertion sort: rows are
@@ -311,10 +370,11 @@ func entryLookup(r []spEntry, c int) (float64, bool) {
 }
 
 // rowSub returns dst − f·src, skipping position skip (which cancels
-// exactly) and dropping exact zeros; fill is called for every position
-// newly introduced into the row.
-func rowSub(dst, src []spEntry, f float64, skip int, fill func(int)) []spEntry {
-	out := make([]spEntry, 0, len(dst)+len(src))
+// exactly) and dropping exact zeros; every position newly introduced
+// into the row is recorded in colRows under fillRow. The output row is
+// carved from the factorization arena.
+func rowSub(a *arena[spEntry], dst, src []spEntry, f float64, skip int, colRows [][]int, fillRow int) []spEntry {
+	out := a.take(len(dst) + len(src))
 	i, j := 0, 0
 	for i < len(dst) || j < len(src) {
 		switch {
@@ -327,7 +387,7 @@ func rowSub(dst, src []spEntry, f float64, skip int, fill func(int)) []spEntry {
 			if src[j].idx != skip {
 				if v := -f * src[j].val; v != 0 {
 					out = append(out, spEntry{src[j].idx, v})
-					fill(src[j].idx)
+					colRows[src[j].idx] = append(colRows[src[j].idx], fillRow)
 				}
 			}
 			j++
@@ -378,6 +438,10 @@ func (lu *basisLU) ftranWork(w []float64) {
 			y[lu.lrow[t]] -= lu.lmult[t] * v
 		}
 	}
+	if lu.ftLive {
+		lu.ftranU(w)
+		return
+	}
 	for k := m - 1; k >= 0; k-- {
 		v := y[lu.prow[k]]
 		for t := lu.ustart[k]; t < lu.ustart[k+1]; t++ {
@@ -404,6 +468,10 @@ func (lu *basisLU) ftranWork(w []float64) {
 // the basis column at position i), leaving y in matrix-row space. c is
 // not modified.
 func (lu *basisLU) btran(c []float64, y []float64) {
+	if lu.ftLive {
+		lu.btranU(c, y)
+		return
+	}
 	m := lu.m
 	z := lu.zwork
 	copy(z, c)
@@ -446,8 +514,9 @@ func (lu *basisLU) btran(c []float64, y []float64) {
 }
 
 // nEtas reports how many pivot updates have accumulated since the last
-// refactorization.
-func (lu *basisLU) nEtas() int { return len(lu.etas) }
+// refactorization (product-form etas or Forrest–Tomlin row etas —
+// exactly one kind is nonempty per factorization epoch).
+func (lu *basisLU) nEtas() int { return len(lu.etas) + len(lu.ftEtas) }
 
 // update appends the product-form eta for a pivot replacing basis
 // position r, whose entering column has FTRAN image w. It reports
@@ -455,6 +524,9 @@ func (lu *basisLU) nEtas() int { return len(lu.etas) }
 // refactorize now (eta file full, or the pivot is weak relative to the
 // spike and would poison every subsequent solve).
 func (lu *basisLU) update(r int, w []float64) bool {
+	if lu.ft {
+		return lu.updateFT(r, w)
+	}
 	piv := w[r]
 	maxw := 0.0
 	n := 0
@@ -469,7 +541,7 @@ func (lu *basisLU) update(r int, w []float64) bool {
 			n++
 		}
 	}
-	ents := make([]spEntry, 0, n)
+	ents := lu.entArena.take(n)
 	for i, v := range w {
 		if i != r && v != 0 {
 			ents = append(ents, spEntry{i, v})

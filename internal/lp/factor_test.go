@@ -18,7 +18,7 @@ func TestJitterPerturbsZeroCostColumns(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		p.MustAddVar(0, 0, 1, []Entry{{r, 1}, {conv, 1}}) // identical zero-cost tie
 	}
-	s, _ := p.newSimplex(1e-10)
+	s, _ := p.newSimplex(1e-10, &workspace{})
 	seen := make(map[float64]bool)
 	for j := 0; j < p.NumVars(); j++ {
 		if s.cost[j] == 0 {
@@ -51,7 +51,7 @@ func TestJitterScalesWithCostMagnitude(t *testing.T) {
 	r := p.AddRow(LE, 1)
 	p.MustAddVar(1e8, 0, 1, []Entry{{r, 1}})
 	p.MustAddVar(0, 0, 1, []Entry{{r, 1}})
-	s, _ := p.newSimplex(1e-10)
+	s, _ := p.newSimplex(1e-10, &workspace{})
 	d := s.cost[1] // jitter on the zero-cost column
 	if d <= 0 || d > 1e-10*1e8*1.01 {
 		t.Fatalf("zero-cost column jitter %g outside (0, ~1e-2]", d)
@@ -95,8 +95,10 @@ func TestFactorBasisSolves(t *testing.T) {
 	for trial := 0; trial < 60; trial++ {
 		m := 1 + rng.IntN(40)
 		cols, basis := randomBasis(rng, m)
-		lu, dep, _ := factorBasis(m, cols, basis)
-		if lu == nil {
+		lu := new(basisLU)
+		var fw luWorkspace
+		ok, dep, _ := factorBasis(&fw, lu, m, cols, basis)
+		if !ok {
 			t.Fatalf("trial %d: spurious dependency report %v", trial, dep)
 		}
 		mulB := func(w []float64) []float64 { // B·w in row space
@@ -180,8 +182,9 @@ func TestFactorBasisReportsDependency(t *testing.T) {
 		{{Row: 0, Coef: 1}, {Row: 1, Coef: 1}},
 		{{Row: 2, Coef: 1}},
 	}
-	lu, depPos, depRows := factorBasis(3, cols, []int{0, 1, 2})
-	if lu != nil {
+	var fw luWorkspace
+	ok, depPos, depRows := factorBasis(&fw, new(basisLU), 3, cols, []int{0, 1, 2})
+	if ok {
 		t.Fatal("dependent basis factored without complaint")
 	}
 	if len(depPos) != 1 || len(depRows) != 1 {
@@ -196,8 +199,8 @@ func TestFactorBasisReportsDependency(t *testing.T) {
 
 	// An all-zero column: same story.
 	cols = [][]Entry{{{Row: 0, Coef: 1}}, nil, {{Row: 2, Coef: 1}}}
-	lu, depPos, depRows = factorBasis(3, cols, []int{0, 1, 2})
-	if lu != nil {
+	ok, depPos, depRows = factorBasis(&fw, new(basisLU), 3, cols, []int{0, 1, 2})
+	if ok {
 		t.Fatal("zero column factored without complaint")
 	}
 	if len(depPos) != 1 || depPos[0] != 1 || len(depRows) != 1 || depRows[0] != 1 {

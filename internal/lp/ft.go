@@ -1,0 +1,274 @@
+package lp
+
+import "math"
+
+// Forrest–Tomlin basis updates (Forrest & Tomlin 1972, in the sparse
+// form of Suhl & Suhl): instead of appending a product-form eta per
+// pivot — which makes every later FTRAN/BTRAN pay for the whole eta
+// file — the U factor is updated in place. Replacing the basis column
+// pivoted at elimination step k0 turns column k0 of U into the spike
+// s = L⁻¹·a_q; cyclically permuting step k0 to the last position leaves
+// U upper triangular except for the old row k0, whose tail is
+// eliminated against the rows below it. The multipliers of that one row
+// elimination are the only per-update state carried forward (a "row
+// eta"), so solves stay O(nnz(U) + Σ|row etas|) with a far slower
+// growth than the product form.
+//
+// Representation choices, driven by what must stay immutable:
+//   - L (lstart/lrow/lmult) and its factor-time step order (prow,
+//     rowStep) are FROZEN — the L triangular solves never change.
+//   - Row etas live in matrix-row space: matrix row identities are
+//     stable under the cyclic step renumbering that each update applies
+//     to U, so stored etas never need fixing up.
+//   - U is kept as mutable rows (urows/udiagM) in *current* step space,
+//     with its own orderings prowU/pcolU; each update rebuilds them with
+//     the renumbering applied — O(nnz(U)) per update.
+//
+// FT mode changes floating-point evaluation order relative to the
+// product form, so results can differ in the last ulps (both are exact
+// up to round-off). It is therefore opt-in: Problem.ForrestTomlin, the
+// package default SetForrestTomlin, or OLIVE_LP_FT=1.
+
+// ftEta is one row-elimination transformation: applied to a right-hand
+// side y in matrix-row space as y[target] -= Σ ents.val·y[ents.idx].
+type ftEta struct {
+	target int // matrix row of the eliminated U row
+	ents   []spEntry
+}
+
+// ftConvert builds the mutable U representation from the compressed
+// factor, on the first FT update after a (re)factorization.
+func (lu *basisLU) ftConvert() {
+	m := lu.m
+	lu.prowU = append(lu.prowU[:0], lu.prow...)
+	lu.pcolU = append(lu.pcolU[:0], lu.pcol...)
+	lu.udiagM = append(lu.udiagM[:0], lu.udiag...)
+	lu.posStep = growSlice(lu.posStep, m)
+	for k, c := range lu.pcolU {
+		lu.posStep[c] = k
+	}
+	lu.ftCur = 0
+	a := &lu.ftArena[0]
+	a.reset()
+	lu.urows = growSlice(lu.urows, m)
+	lu.urowsAlt = growSlice(lu.urowsAlt, m)
+	lu.prowAlt = growSlice(lu.prowAlt, m)
+	lu.pcolAlt = growSlice(lu.pcolAlt, m)
+	lu.udiagAlt = growSlice(lu.udiagAlt, m)
+	for k := 0; k < m; k++ {
+		row := a.take(lu.ustart[k+1] - lu.ustart[k])
+		for t := lu.ustart[k]; t < lu.ustart[k+1]; t++ {
+			row = append(row, spEntry{lu.ucol[t], lu.uval[t]})
+		}
+		lu.urows[k] = row
+	}
+	lu.swork = growSlice(lu.swork, m)
+	lu.twork = growSlice(lu.twork, m)
+	lu.ftLive = true
+}
+
+// updateFT replaces the basis column at position r (FTRAN image w) by a
+// Forrest–Tomlin update of U. It reports whether the factorization is
+// still healthy; on false the caller must refactorize — and lu is left
+// UNMODIFIED in that case (all rejection checks run before any state is
+// touched), so a refactorization failure path never reads a half-updated
+// factor.
+func (lu *basisLU) updateFT(r int, w []float64) bool {
+	if !lu.ftLive {
+		lu.ftConvert()
+	}
+	m := lu.m
+	k0 := lu.posStep[r]
+
+	// Spike s = U·w̃ in current step space (w̃ is w read in step order):
+	// since w = U⁻¹·(row-etas∘L⁻¹)·a_q, this recovers L⁻¹a_q — the new
+	// column k0 of U.
+	s, wt := lu.swork, lu.zwork
+	for k := 0; k < m; k++ {
+		wt[k] = w[lu.pcolU[k]]
+	}
+	maxs := 0.0
+	for k := 0; k < m; k++ {
+		v := lu.udiagM[k] * wt[k]
+		for _, e := range lu.urows[k] {
+			v += e.val * wt[e.idx]
+		}
+		s[k] = v
+		if a := math.Abs(v); a > maxs {
+			maxs = a
+		}
+	}
+
+	// Eliminate the tail of old row k0 against rows k0+1..m-1, tracking
+	// fill in a dense workspace. The multipliers become the row eta; the
+	// spike column contributions accumulate straight into the new
+	// diagonal d (the spike is the only column the eliminated row keeps).
+	t := lu.twork
+	for i := range t {
+		t[i] = 0
+	}
+	for _, e := range lu.urows[k0] {
+		t[e.idx] = e.val
+	}
+	d := s[k0]
+	lu.muIdx = lu.muIdx[:0]
+	lu.muVal = lu.muVal[:0]
+	for c := k0 + 1; c < m; c++ {
+		tv := t[c]
+		if tv == 0 {
+			continue
+		}
+		mu := tv / lu.udiagM[c]
+		for _, e := range lu.urows[c] {
+			t[e.idx] -= mu * e.val
+		}
+		d -= mu * s[c]
+		lu.muIdx = append(lu.muIdx, lu.prowU[c])
+		lu.muVal = append(lu.muVal, mu)
+	}
+	if math.Abs(d) <= etaWeakTol*maxs || len(lu.ftEtas) >= maxEtas {
+		return false
+	}
+
+	// Rebuild U with the cyclic renumbering applied: steps above k0
+	// shift down one, the eliminated row becomes the last step with the
+	// lone diagonal d, and the spike lands in the last column.
+	dst := 1 - lu.ftCur
+	a := &lu.ftArena[dst]
+	a.reset()
+	newRows, nd := lu.urowsAlt, lu.udiagAlt
+	npr, npc := lu.prowAlt, lu.pcolAlt
+	for j := 0; j < m; j++ {
+		if j == k0 {
+			continue
+		}
+		jn := j
+		if j > k0 {
+			jn = j - 1
+		}
+		old := lu.urows[j]
+		row := a.take(len(old) + 1)
+		for _, e := range old {
+			if e.idx == k0 {
+				continue // leaving column
+			}
+			c := e.idx
+			if c > k0 {
+				c--
+			}
+			row = append(row, spEntry{c, e.val})
+		}
+		if sv := s[j]; sv != 0 {
+			row = append(row, spEntry{m - 1, sv})
+		}
+		newRows[jn] = row
+		nd[jn] = lu.udiagM[j]
+		npr[jn] = lu.prowU[j]
+		npc[jn] = lu.pcolU[j]
+	}
+	target := lu.prowU[k0]
+	newRows[m-1] = a.take(0)
+	nd[m-1] = d
+	npr[m-1] = target
+	npc[m-1] = r
+	lu.urows, lu.urowsAlt = newRows, lu.urows
+	lu.udiagM, lu.udiagAlt = nd, lu.udiagM
+	lu.prowU, lu.prowAlt = npr, lu.prowU
+	lu.pcolU, lu.pcolAlt = npc, lu.pcolU
+	for k, c := range lu.pcolU {
+		lu.posStep[c] = k
+	}
+	lu.ftCur = dst
+
+	ents := lu.entArena.take(len(lu.muIdx))
+	for i, idx := range lu.muIdx {
+		ents = append(ents, spEntry{idx, lu.muVal[i]})
+	}
+	lu.ftEtas = append(lu.ftEtas, ftEta{target: target, ents: ents})
+	return len(lu.ftEtas) < maxEtas
+}
+
+// ftApplyEtas applies the row etas, in update order, to a right-hand
+// side in matrix-row space (the FTRAN direction).
+func (lu *basisLU) ftApplyEtas(y []float64) {
+	for i := range lu.ftEtas {
+		e := &lu.ftEtas[i]
+		v := y[e.target]
+		for _, en := range e.ents {
+			v -= en.val * y[en.idx]
+		}
+		y[e.target] = v
+	}
+}
+
+// ftApplyEtasT applies the transposed row etas in reverse order (the
+// BTRAN direction).
+func (lu *basisLU) ftApplyEtasT(y []float64) {
+	for i := len(lu.ftEtas) - 1; i >= 0; i-- {
+		e := &lu.ftEtas[i]
+		v := y[e.target]
+		if v == 0 {
+			continue
+		}
+		for _, en := range e.ents {
+			y[en.idx] -= en.val * v
+		}
+	}
+}
+
+// ftranU completes an FT-mode FTRAN: row etas, then the mutable-U back
+// substitution, reading the right-hand side from ywork (matrix-row
+// space) like ftranWork does.
+func (lu *basisLU) ftranU(w []float64) {
+	y, z := lu.ywork, lu.zwork
+	lu.ftApplyEtas(y)
+	for k := lu.m - 1; k >= 0; k-- {
+		v := y[lu.prowU[k]]
+		for _, e := range lu.urows[k] {
+			v -= e.val * z[e.idx]
+		}
+		z[k] = v / lu.udiagM[k]
+	}
+	for k := 0; k < lu.m; k++ {
+		w[lu.pcolU[k]] = z[k]
+	}
+}
+
+// btranU runs the FT-mode BTRAN counterpart: Uᵀ solve in current step
+// space, transposed row etas in reverse, then the frozen Lᵀ solve.
+func (lu *basisLU) btranU(c []float64, y []float64) {
+	m := lu.m
+	v, yr := lu.zwork, lu.swork
+	for k := 0; k < m; k++ {
+		v[k] = c[lu.pcolU[k]]
+	}
+	for k := 0; k < m; k++ {
+		v[k] /= lu.udiagM[k]
+		vk := v[k]
+		if vk == 0 {
+			continue
+		}
+		for _, e := range lu.urows[k] {
+			v[e.idx] -= e.val * vk
+		}
+	}
+	for k := 0; k < m; k++ {
+		yr[lu.prowU[k]] = v[k]
+	}
+	lu.ftApplyEtasT(yr)
+	// Frozen Lᵀ in factor-time step space, exactly as the PFI path.
+	w := lu.ywork
+	for k := 0; k < m; k++ {
+		w[k] = yr[lu.prow[k]]
+	}
+	for k := m - 1; k >= 0; k-- {
+		s := w[k]
+		for t := lu.lstart[k]; t < lu.lstart[k+1]; t++ {
+			s -= lu.lmult[t] * w[lu.rowStep[lu.lrow[t]]]
+		}
+		w[k] = s
+	}
+	for k := 0; k < m; k++ {
+		y[lu.prow[k]] = w[k]
+	}
+}

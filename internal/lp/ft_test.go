@@ -1,0 +1,180 @@
+package lp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// randBasisCols builds m random sparse columns forming (almost surely)
+// a nonsingular basis: a shuffled diagonal plus random off-diagonal
+// noise.
+func randBasisCols(m int, rng *rand.Rand) [][]Entry {
+	cols := make([][]Entry, m)
+	perm := rng.Perm(m)
+	for j := 0; j < m; j++ {
+		col := []Entry{{Row: perm[j], Coef: 1 + rng.Float64()*4}}
+		for _, i := range rng.Perm(m)[:rng.IntN(3)] {
+			if i != perm[j] {
+				col = append(col, Entry{Row: i, Coef: rng.Float64()*2 - 1})
+			}
+		}
+		cols[j] = col
+	}
+	return cols
+}
+
+// TestForrestTomlinUpdateEquivalence drives random column-replacement
+// sequences through FT updates and checks every FTRAN/BTRAN against a
+// fresh factorization of the updated basis.
+func TestForrestTomlinUpdateEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	const tol = 1e-8
+	for trial := 0; trial < 60; trial++ {
+		m := 3 + rng.IntN(18)
+		cols := randBasisCols(m, rng)
+		basis := make([]int, m)
+		for i := range basis {
+			basis[i] = i
+		}
+		var fw luWorkspace
+		lu := new(basisLU)
+		if ok, _, _ := factorBasis(&fw, lu, m, cols, basis); !ok {
+			continue // singular draw; skip
+		}
+		lu.ft = true
+
+		w := make([]float64, m)
+		wRef := make([]float64, m)
+		y := make([]float64, m)
+		yRef := make([]float64, m)
+		cb := make([]float64, m)
+		for upd := 0; upd < 10; upd++ {
+			// Replace a random basis position with a fresh random column.
+			r := rng.IntN(m)
+			newCol := []Entry{{Row: rng.IntN(m), Coef: 1 + rng.Float64()*4}}
+			for _, i := range rng.Perm(m)[:rng.IntN(3)] {
+				if i != newCol[0].Row {
+					newCol = append(newCol, Entry{Row: i, Coef: rng.Float64()*2 - 1})
+				}
+			}
+			lu.ftranCol(newCol, w)
+			if !lu.updateFT(r, w) {
+				break // weak pivot: a refactorization would take over
+			}
+			cols = append(cols, newCol)
+			basis[r] = len(cols) - 1
+
+			// Reference: factor the updated basis from scratch.
+			ref := new(basisLU)
+			if ok, _, _ := factorBasis(&fw, ref, m, cols, basis); !ok {
+				break
+			}
+			// FTRAN equivalence on a random sparse column.
+			probe := []Entry{{Row: rng.IntN(m), Coef: rng.Float64()*4 - 2}, {Row: rng.IntN(m), Coef: rng.Float64()*4 - 2}}
+			lu.ftranCol(probe, w)
+			ref.ftranCol(probe, wRef)
+			for i := 0; i < m; i++ {
+				if d := math.Abs(w[i] - wRef[i]); d > tol*(1+math.Abs(wRef[i])) {
+					t.Fatalf("trial %d update %d: FTRAN mismatch at %d: %g vs %g", trial, upd, i, w[i], wRef[i])
+				}
+			}
+			// BTRAN equivalence on a random cost vector.
+			for i := range cb {
+				cb[i] = rng.Float64()*2 - 1
+			}
+			lu.btran(cb, y)
+			ref.btran(cb, yRef)
+			for i := 0; i < m; i++ {
+				if d := math.Abs(y[i] - yRef[i]); d > tol*(1+math.Abs(yRef[i])) {
+					t.Fatalf("trial %d update %d: BTRAN mismatch at %d: %g vs %g", trial, upd, i, y[i], yRef[i])
+				}
+			}
+		}
+	}
+}
+
+// randomLP builds a feasible random LP: minimize c·x s.t. Ax ≤ b with
+// b ≥ 0 (x = 0 feasible) and mixed-sign costs, plus a few GE/EQ rows to
+// exercise normalization and phase 1.
+func randomLP(rng *rand.Rand) *Problem {
+	p := NewProblem()
+	m := 2 + rng.IntN(8)
+	n := 2 + rng.IntN(12)
+	for i := 0; i < m; i++ {
+		p.AddRow(LE, 1+rng.Float64()*9)
+	}
+	for j := 0; j < n; j++ {
+		var ents []Entry
+		for i := 0; i < m; i++ {
+			if rng.Float64() < 0.4 {
+				ents = append(ents, Entry{Row: i, Coef: rng.Float64() * 3})
+			}
+		}
+		up := math.Inf(1)
+		if rng.Float64() < 0.3 {
+			up = 1 + rng.Float64()*3
+		}
+		p.MustAddVar(rng.Float64()*4-2, 0, up, ents)
+	}
+	return p
+}
+
+// TestForrestTomlinSolveEquivalence solves random LPs under both update
+// schemes; statuses must agree and optimal objectives must match to
+// solver tolerance (optimal vertices may legitimately differ on
+// degenerate problems).
+func TestForrestTomlinSolveEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	solved := 0
+	for trial := 0; trial < 200; trial++ {
+		p := randomLP(rng)
+		p.ForrestTomlin = false
+		solPFI, errPFI := p.Solve()
+		p.ForrestTomlin = true
+		solFT, errFT := p.Solve()
+		if (errPFI == nil) != (errFT == nil) {
+			t.Fatalf("trial %d: error mismatch: pfi=%v ft=%v", trial, errPFI, errFT)
+		}
+		if errPFI != nil {
+			continue
+		}
+		if solPFI.Status != solFT.Status {
+			t.Fatalf("trial %d: status mismatch: pfi=%v ft=%v", trial, solPFI.Status, solFT.Status)
+		}
+		if solPFI.Status != Optimal {
+			continue
+		}
+		solved++
+		if d := math.Abs(solPFI.Obj - solFT.Obj); d > 1e-7*(1+math.Abs(solPFI.Obj)) {
+			t.Fatalf("trial %d: objective mismatch: pfi=%g ft=%g (Δ=%g)", trial, solPFI.Obj, solFT.Obj, d)
+		}
+	}
+	if solved < 100 {
+		t.Fatalf("only %d/200 trials reached optimality; generator too degenerate to be meaningful", solved)
+	}
+}
+
+// TestForrestTomlinWarmStart exercises SolveFrom under FT: a warm
+// restart from the previous optimal basis must reproduce the optimum.
+func TestForrestTomlinWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 5))
+	for trial := 0; trial < 50; trial++ {
+		p := randomLP(rng)
+		p.ForrestTomlin = true
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			continue
+		}
+		sol2, err := p.SolveFrom(sol.Basis())
+		if err != nil {
+			t.Fatalf("trial %d: warm resolve: %v", trial, err)
+		}
+		if sol2.Status != Optimal {
+			t.Fatalf("trial %d: warm resolve status %v", trial, sol2.Status)
+		}
+		if d := math.Abs(sol.Obj - sol2.Obj); d > 1e-9*(1+math.Abs(sol.Obj)) {
+			t.Fatalf("trial %d: warm objective drift %g vs %g", trial, sol.Obj, sol2.Obj)
+		}
+	}
+}

@@ -25,6 +25,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
+	"sync/atomic"
 )
 
 // Sense is a row's constraint sense.
@@ -77,10 +79,41 @@ type Problem struct {
 	lo, up  []float64
 	cols    [][]Entry
 	numVars int
+
+	// ForrestTomlin selects in-place Forrest–Tomlin updates of the basis
+	// factorization (see ft.go) instead of the default product-form eta
+	// file. Both are exact up to round-off, but their floating-point
+	// evaluation orders differ, so solves may land on different (equally
+	// optimal) vertices of degenerate problems — which is why the mode
+	// is opt-in rather than the default for this bit-reproducible
+	// codebase. Set it before the first Solve.
+	ForrestTomlin bool
+
+	// ws holds the reusable solve workspace; claimed atomically so
+	// concurrent solves on one Problem degrade to fresh allocation
+	// instead of racing.
+	ws atomic.Pointer[workspace]
 }
 
+// ftDefault seeds Problem.ForrestTomlin for problems made by NewProblem;
+// settable via SetForrestTomlin or the OLIVE_LP_FT=1 environment
+// variable (the empirical golden-drift switch).
+var ftDefault atomic.Bool
+
+func init() {
+	if os.Getenv("OLIVE_LP_FT") == "1" {
+		ftDefault.Store(true)
+	}
+}
+
+// SetForrestTomlin switches the package default basis-update scheme for
+// subsequently created problems. It exists so harnesses can flip the
+// whole pipeline (plan builds, serve solves) to Forrest–Tomlin without
+// threading an option through every layer.
+func SetForrestTomlin(on bool) { ftDefault.Store(on) }
+
 // NewProblem returns an empty problem.
-func NewProblem() *Problem { return &Problem{} }
+func NewProblem() *Problem { return &Problem{ForrestTomlin: ftDefault.Load()} }
 
 // AddRow appends a constraint row and returns its index.
 func (p *Problem) AddRow(sense Sense, rhs float64) int {
@@ -259,7 +292,10 @@ func (p *Problem) solveOnce(perturb float64, warm *Basis) (*Solution, error) {
 	if m == 0 || p.numVars == 0 {
 		return nil, errors.New("lp: empty problem")
 	}
-	s, rowNeg := p.newSimplex(perturb)
+	ws := p.takeWS()
+	defer p.putWS(ws)
+	s, rowNeg := p.newSimplex(perturb, ws)
+	defer ws.reclaim(s)
 	maxIter := maxIterFactor * (s.m + len(s.cols))
 
 	if warm != nil {
@@ -273,7 +309,11 @@ func (p *Problem) solveOnce(perturb float64, warm *Basis) (*Solution, error) {
 		}
 		// Phase 1: minimize artificial mass if any artificial is nonzero.
 		if s.needPhase1() {
-			phase1Cost := make([]float64, len(s.cols))
+			ws.phase1Cost = growSlice(ws.phase1Cost, len(s.cols))
+			phase1Cost := ws.phase1Cost
+			for j := 0; j < s.artBase; j++ {
+				phase1Cost[j] = 0
+			}
 			for j := s.artBase; j < len(s.cols); j++ {
 				phase1Cost[j] = 1
 			}
@@ -308,7 +348,7 @@ func (p *Problem) solveOnce(perturb float64, warm *Basis) (*Solution, error) {
 	for j := 0; j < s.nStruct; j++ {
 		sol.Obj += p.cost[j] * sol.X[j]
 	}
-	y := make([]float64, m)
+	y := s.ybuf
 	s.dualsInto(s.cost, y)
 	sol.Dual = make([]float64, m)
 	for i := range y {

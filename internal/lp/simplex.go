@@ -36,6 +36,8 @@ type simplex struct {
 
 	lu *basisLU // sparse LU factorization of the basis + eta file
 
+	ws *workspace // owning workspace; all scratch slices below live in it
+
 	// reusable buffers
 	ybuf  []float64 // duals, matrix-row space
 	cbbuf []float64 // basic costs, position space
@@ -43,19 +45,29 @@ type simplex struct {
 
 	iters   int
 	refacts int // refactorization count, surfaced in Solution
+
+	// ft selects Forrest–Tomlin basis updates (see ft.go) for every
+	// factorization of this solve.
+	ft bool
 }
 
 // newSimplex builds the working state from a problem: GE rows normalized
 // to LE by negation, slack columns appended, costs optionally perturbed.
 // rowNeg records the per-row sign applied, for un-normalizing duals.
-func (p *Problem) newSimplex(perturb float64) (*simplex, []float64) {
+// All working arrays come from ws; columns untouched by GE negation
+// alias the problem's own columns (the simplex never mutates entries).
+func (p *Problem) newSimplex(perturb float64, ws *workspace) (*simplex, []float64) {
 	m := len(p.rhs)
-	s := &simplex{m: m, nStruct: p.numVars}
+	s := &simplex{m: m, nStruct: p.numVars, ws: ws, ft: p.ForrestTomlin}
 
-	rowNeg := make([]float64, m)
+	ws.rowNeg = growSlice(ws.rowNeg, m)
+	rowNeg := ws.rowNeg
+	anyGE := false
+	s.rhs = ws.rhs[:0]
 	for i, sense := range p.rowSense {
 		if sense == GE {
 			rowNeg[i] = -1
+			anyGE = true
 		} else {
 			rowNeg[i] = 1
 		}
@@ -76,10 +88,27 @@ func (p *Problem) newSimplex(perturb float64) (*simplex, []float64) {
 			jitterScale = 1
 		}
 	}
+	s.cols = ws.cols[:0]
+	s.cost = ws.cost[:0]
+	s.lo = ws.lo[:0]
+	s.up = ws.up[:0]
+	ws.colArena.reset()
 	for j := 0; j < p.numVars; j++ {
-		col := make([]Entry, len(p.cols[j]))
-		for k, e := range p.cols[j] {
-			col[k] = Entry{Row: e.Row, Coef: e.Coef * rowNeg[e.Row]}
+		pc := p.cols[j]
+		col := pc
+		if anyGE {
+			// Copy (sign-normalized) only the columns a GE row touches;
+			// x·1 is bitwise x, so untouched columns alias safely.
+			for _, e := range pc {
+				if rowNeg[e.Row] < 0 {
+					cc := ws.colArena.take(len(pc))
+					for _, e := range pc {
+						cc = append(cc, Entry{Row: e.Row, Coef: e.Coef * rowNeg[e.Row]})
+					}
+					col = cc
+					break
+				}
+			}
 		}
 		s.cols = append(s.cols, col)
 		cj := p.cost[j]
@@ -97,7 +126,9 @@ func (p *Problem) newSimplex(perturb float64) (*simplex, []float64) {
 		if sense == EQ {
 			continue
 		}
-		s.cols = append(s.cols, []Entry{{Row: i, Coef: 1}})
+		sc := ws.colArena.take(1)
+		sc = append(sc, Entry{Row: i, Coef: 1})
+		s.cols = append(s.cols, sc)
 		s.cost = append(s.cost, 0)
 		s.lo = append(s.lo, 0)
 		s.up = append(s.up, math.Inf(1))
@@ -105,14 +136,15 @@ func (p *Problem) newSimplex(perturb float64) (*simplex, []float64) {
 	}
 	s.artBase = len(s.cols)
 	s.buildSlackOf()
-	s.ybuf = make([]float64, m)
-	s.cbbuf = make([]float64, m)
-	s.rbuf = make([]float64, m)
+	s.ybuf = growSlice(ws.ybuf, m)
+	s.cbbuf = growSlice(ws.cbbuf, m)
+	s.rbuf = growSlice(ws.rbuf, m)
 	return s, rowNeg
 }
 
 func (s *simplex) buildSlackOf() {
-	s.slackOf = make([]int, s.m)
+	s.ws.slackOf = growSlice(s.ws.slackOf, s.m)
+	s.slackOf = s.ws.slackOf
 	for i := range s.slackOf {
 		s.slackOf[i] = -1
 	}
@@ -141,14 +173,18 @@ func (s *simplex) addArtificial(row int, coef, up float64) int {
 // initBasis builds the starting basis: slacks where feasible, artificials
 // elsewhere, with all structural variables at their lower bound.
 func (s *simplex) initBasis() error {
-	s.status = make([]vstat, len(s.cols))
-	s.xN = make([]float64, len(s.cols))
+	s.status = growSlice(s.ws.status, len(s.cols))
+	s.xN = growSlice(s.ws.xN, len(s.cols))
 	for j := range s.cols {
 		s.status[j] = atLower
 		s.xN[j] = s.lo[j]
 	}
 	// Row activity with all structurals at bounds.
-	act := make([]float64, s.m)
+	s.ws.act = growSlice(s.ws.act, s.m)
+	act := s.ws.act
+	for i := range act {
+		act[i] = 0
+	}
 	for j := 0; j < s.nStruct; j++ {
 		if s.xN[j] != 0 {
 			for _, e := range s.cols[j] {
@@ -156,8 +192,8 @@ func (s *simplex) initBasis() error {
 			}
 		}
 	}
-	s.basis = make([]int, s.m)
-	s.xB = make([]float64, s.m)
+	s.basis = growSlice(s.ws.basis, s.m)
+	s.xB = growSlice(s.ws.xB, s.m)
 	for i := 0; i < s.m; i++ {
 		resid := s.rhs[i] - act[i]
 		if sj := s.slackOf[i]; sj >= 0 && resid >= 0 {
@@ -188,8 +224,8 @@ func (s *simplex) initBasis() error {
 // failure returns errWarmStart and the caller falls back to a cold
 // solve.
 func (s *simplex) initBasisFrom(b *Basis) error {
-	s.status = make([]vstat, len(s.cols))
-	s.xN = make([]float64, len(s.cols))
+	s.status = growSlice(s.ws.status, len(s.cols))
+	s.xN = growSlice(s.ws.xN, len(s.cols))
 	basicList := make([]int, 0, s.m)
 	for j := 0; j < s.nStruct; j++ {
 		st := StatusLower
@@ -256,7 +292,10 @@ func (s *simplex) initBasisFrom(b *Basis) error {
 		return errWarmStart
 	}
 	s.basis = basicList
-	s.xB = make([]float64, s.m)
+	s.xB = growSlice(s.ws.xB, s.m)
+	for i := range s.xB {
+		s.xB[i] = 0 // repair paths read xB before recomputeXB fills it
+	}
 	if err := s.refactorize(); err != nil {
 		return errWarmStart
 	}
@@ -304,7 +343,8 @@ func (s *simplex) needPhase1() bool {
 // objective evaluates cost·x at the current point.
 func (s *simplex) objective(cost []float64) float64 {
 	var obj float64
-	x := s.primal()
+	s.ws.xbuf = growSlice(s.ws.xbuf, len(s.cols))
+	x := s.primalInto(s.ws.xbuf)
 	for j := range x {
 		if j < len(cost) {
 			obj += cost[j] * x[j]
@@ -313,12 +353,18 @@ func (s *simplex) objective(cost []float64) float64 {
 	return obj
 }
 
-// primal assembles the full primal vector.
+// primal assembles the full primal vector (freshly allocated: the head
+// of the result escapes into Solution.X).
 func (s *simplex) primal() []float64 {
-	x := make([]float64, len(s.cols))
+	return s.primalInto(make([]float64, len(s.cols)))
+}
+
+func (s *simplex) primalInto(x []float64) []float64 {
 	for j := range s.cols {
 		if s.status[j] != basic {
 			x[j] = s.xN[j]
+		} else {
+			x[j] = 0
 		}
 	}
 	for i, j := range s.basis {
@@ -355,8 +401,10 @@ func (s *simplex) refactorize() error {
 	s.refacts++
 	repaired := false
 	for attempt := 0; ; attempt++ {
-		lu, depPos, depRows := factorBasis(s.m, s.cols, s.basis)
-		if lu != nil {
+		lu := s.ws.takeLU(s.lu)
+		ok, depPos, depRows := factorBasis(&s.ws.fw, lu, s.m, s.cols, s.basis)
+		if ok {
+			lu.ft = s.ft
 			s.lu = lu
 			break
 		}
@@ -436,7 +484,8 @@ func (s *simplex) applyPivot(leave int, w []float64) error {
 // iterate runs primal simplex pivots under the given cost vector until
 // optimality, unboundedness, or the iteration cap.
 func (s *simplex) iterate(cost []float64, maxIter int) (Status, error) {
-	w := make([]float64, s.m)
+	s.ws.wbuf = growSlice(s.ws.wbuf, s.m)
+	w := s.ws.wbuf
 	// Switch to Bland's rule after a degenerate streak long enough to
 	// suggest cycling rather than ordinary degeneracy.
 	blandAfter := 200 + (s.m+len(s.cols))/4

@@ -15,7 +15,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sort"
-	"strings"
+	"strconv"
 
 	"github.com/olive-vne/olive/internal/embedder"
 	"github.com/olive-vne/olive/internal/graph"
@@ -173,15 +173,18 @@ func Aggregate(hist *workload.Trace, numApps int, alpha float64, bootstrapB int,
 		return keys[i].ingress < keys[j].ingress
 	})
 	classes := make([]Class, 0, len(diffs))
+	// One series buffer and one bootstrap scratch serve every class:
+	// BootstrapQuantileWith only reads the series and does not retain it.
+	series := make([]float64, hist.Slots)
+	var bsc stats.BootstrapScratch
 	for _, k := range keys {
 		d := diffs[k]
-		series := make([]float64, hist.Slots)
 		var acc float64
 		for t := 0; t < hist.Slots; t++ {
 			acc += d[t]
 			series[t] = acc
 		}
-		est, err := stats.BootstrapQuantile(series, alpha, bootstrapB, rng)
+		est, err := stats.BootstrapQuantileWith(&bsc, series, alpha, bootstrapB, rng)
 		if err != nil {
 			return nil, fmt.Errorf("plan: class (%d,%d): %w", k.app, k.ingress, err)
 		}
@@ -355,6 +358,9 @@ func (s *Solver) Build(classes []Class, opts Options) (*Plan, error) {
 
 	m := newMaster(g, apps, classes, opts)
 	m.solver = s
+	// The master dies with this call; recycle its LP scratch memory so
+	// the next Build (this solver's or anyone's) skips the warm-up.
+	defer m.prob.ReleaseWorkspace()
 	if err := m.seedColumns(); err != nil {
 		return nil, err
 	}
@@ -468,12 +474,12 @@ func newMaster(g *graph.Graph, apps []*vnet.App, classes []Class, opts Options) 
 	P := opts.Quantiles
 	for i, c := range classes {
 		m.convRow[i] = m.prob.AddRow(lp.EQ, 1)
-		m.rowKeys = append(m.rowKeys, fmt.Sprintf("c:%d:%d", c.App, c.Ingress))
+		m.rowKeys = append(m.rowKeys, "c:"+strconv.Itoa(c.App)+":"+strconv.Itoa(int(c.Ingress)))
 		for p := 1; p <= P; p++ {
 			cost := m.psi[i] * c.Demand * float64(p)
 			v := m.prob.MustAddVar(cost, 0, 1/float64(P), []lp.Entry{{Row: m.convRow[i], Coef: 1}})
 			m.quantCols[i] = append(m.quantCols[i], v)
-			m.varKeys = append(m.varKeys, fmt.Sprintf("q:%d:%d:%d", c.App, c.Ingress, p))
+			m.varKeys = append(m.varKeys, "q:"+strconv.Itoa(c.App)+":"+strconv.Itoa(int(c.Ingress))+":"+strconv.Itoa(p))
 		}
 	}
 	return m
@@ -514,7 +520,7 @@ func (m *master) rowFor(e graph.ElementID) int {
 	}
 	r := m.prob.AddRow(lp.LE, m.g.ElementCap(e))
 	m.elemRow[e] = r
-	m.rowKeys = append(m.rowKeys, fmt.Sprintf("e:%d", e))
+	m.rowKeys = append(m.rowKeys, "e:"+strconv.Itoa(int(e)))
 	return r
 }
 
@@ -522,13 +528,14 @@ func (m *master) rowFor(e graph.ElementID) int {
 // false if an identical column already exists.
 func (m *master) addColumn(ci int, e *vnet.Embedding) bool {
 	es := embSignature(e)
-	sig := fmt.Sprintf("%d|%s", ci, es)
+	sig := strconv.Itoa(ci) + "|" + es
 	if m.sigs[sig] {
 		return false
 	}
 	m.sigs[sig] = true
 	d := m.classes[ci].Demand
-	entries := []lp.Entry{{Row: m.convRow[ci], Coef: 1}}
+	entries := make([]lp.Entry, 0, 1+len(e.UnitUse()))
+	entries = append(entries, lp.Entry{Row: m.convRow[ci], Coef: 1})
 	for _, u := range e.UnitUse() {
 		entries = append(entries, lp.Entry{Row: m.rowFor(u.Elem), Coef: u.Amount * d})
 	}
@@ -536,7 +543,7 @@ func (m *master) addColumn(ci int, e *vnet.Embedding) bool {
 	m.colClass = append(m.colClass, ci)
 	m.colEmb = append(m.colEmb, e)
 	c := m.classes[ci]
-	m.varKeys = append(m.varKeys, fmt.Sprintf("x:%d:%d:%s", c.App, c.Ingress, es))
+	m.varKeys = append(m.varKeys, "x:"+strconv.Itoa(c.App)+":"+strconv.Itoa(int(c.Ingress))+":"+es)
 	return true
 }
 
@@ -579,17 +586,23 @@ func (s *Solver) captureWarm(m *master, sol *lp.Solution) {
 }
 
 func embSignature(e *vnet.Embedding) string {
-	var b strings.Builder
+	// strconv.AppendInt into one grown buffer: this runs per candidate
+	// column per pricing round, where fmt boxing showed up in profiles.
+	buf := make([]byte, 0, 8*len(e.NodeMap)+16*len(e.PathMap))
 	for _, n := range e.NodeMap {
-		fmt.Fprintf(&b, "n%d,", n)
+		buf = append(buf, 'n')
+		buf = strconv.AppendInt(buf, int64(n), 10)
+		buf = append(buf, ',')
 	}
 	for _, p := range e.PathMap {
 		for _, l := range p.Links {
-			fmt.Fprintf(&b, "l%d,", l)
+			buf = append(buf, 'l')
+			buf = strconv.AppendInt(buf, int64(l), 10)
+			buf = append(buf, ',')
 		}
-		b.WriteByte(';')
+		buf = append(buf, ';')
 	}
-	return b.String()
+	return string(buf)
 }
 
 // seedColumns creates the initial candidate columns: the k cheapest

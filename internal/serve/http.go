@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -139,8 +140,15 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	buf := bodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bodyPool.Put(buf)
 	var er EmbedRequest
-	if err := json.NewDecoder(r.Body).Decode(&er); err != nil {
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := json.Unmarshal(buf.Bytes(), &er); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
@@ -178,7 +186,9 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		Duration: er.Duration,
 	}
 	sh := s.shardOf(req.Ingress)
-	o := op{kind: opEmbed, req: req, reply: make(chan result, 1)}
+	reply := takeReply()
+	defer putReply(reply)
+	o := op{kind: opEmbed, req: req, reply: reply}
 	t0 := time.Now()
 	if s.met != nil {
 		o.enqueued = t0
@@ -236,8 +246,10 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	// handler behind a busy shard; the release ops already executed were
 	// no-ops on non-owning shards, so retrying is safe.
 	released := false
+	reply := takeReply()
+	defer putReply(reply)
 	for _, sh := range s.shards {
-		o := op{kind: opRelease, id: id, reply: make(chan result, 1)}
+		o := op{kind: opRelease, id: id, reply: reply}
 		select {
 		case sh.queue <- o:
 		default:

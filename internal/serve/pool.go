@@ -1,0 +1,35 @@
+package serve
+
+import (
+	"bytes"
+	"sync"
+)
+
+// Per-request memory recycling for the HTTP hot path. Every embed used
+// to allocate a one-shot reply channel and a fresh JSON decoder with its
+// internal read buffer; under load those dominate the handler's
+// allocation profile. Both are safely reusable: a reply channel carries
+// exactly one result per enqueue (the handler always consumes it before
+// release), and the body buffer is reset before every read.
+
+// replyPool recycles the buffered reply channels handlers hand to engine
+// shards. A channel may be released only when it is empty — either it
+// was never enqueued (queue-full shed) or its single result has been
+// received.
+var replyPool = sync.Pool{New: func() any { return make(chan result, 1) }}
+
+func takeReply() chan result { return replyPool.Get().(chan result) }
+
+// putReply returns a reply channel to the pool. The defensive drain
+// keeps a stray unconsumed result (a future misuse, not a current code
+// path) from poisoning the next request.
+func putReply(c chan result) {
+	select {
+	case <-c:
+	default:
+	}
+	replyPool.Put(c)
+}
+
+// bodyPool recycles request-body read buffers for JSON decoding.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}

@@ -360,14 +360,15 @@ func runAlgorithm(cfg Config, g *graph.Graph, apps []*vnet.App, oracle *embedder
 		return nil, err
 	}
 
-	// Per-request bookkeeping for cost accounting.
+	// Per-request bookkeeping for cost accounting. Values (not pointers)
+	// keep the hot per-accept map insert allocation-free.
 	type live struct {
 		contrib float64 // d·unitCost per slot
 		departs int
 		logIdx  int
 	}
-	liveReqs := make(map[int]*live)
-	logIdxOf := make(map[int]int, len(online.Requests))
+	liveReqs := make(map[int]live, 1024)
+	var gone []int
 	var running float64 // Σ contrib over active requests
 
 	t0 := time.Now()
@@ -386,7 +387,7 @@ func runAlgorithm(cfg Config, g *graph.Graph, apps []*vnet.App, oracle *embedder
 		// Departures in request-ID order: floating-point sums must not
 		// depend on map iteration, or repeated runs drift in the last
 		// ulps and break the runner's byte-identical guarantee.
-		var gone []int
+		gone = gone[:0]
 		for id, lr := range liveReqs {
 			if lr.departs <= t {
 				gone = append(gone, id)
@@ -408,7 +409,7 @@ func runAlgorithm(cfg Config, g *graph.Graph, apps []*vnet.App, oracle *embedder
 				Arrive: r.Arrive, Duration: r.Duration, Demand: r.Demand,
 				Accepted: out.Accepted, Planned: out.Planned,
 			}
-			logIdxOf[r.ID] = len(ar.Log)
+			logIdx := len(ar.Log)
 			ar.Log = append(ar.Log, rec)
 			for _, pid := range out.Preempted {
 				if lr, ok := liveReqs[pid]; ok {
@@ -421,7 +422,7 @@ func runAlgorithm(cfg Config, g *graph.Graph, apps []*vnet.App, oracle *embedder
 			if out.Accepted {
 				ar.PerSlotAccepted[t] += r.Demand
 				contrib := out.Emb.Cost(r.Demand)
-				liveReqs[r.ID] = &live{contrib: contrib, departs: r.Departs(), logIdx: logIdxOf[r.ID]}
+				liveReqs[r.ID] = live{contrib: contrib, departs: r.Departs(), logIdx: logIdx}
 				running += contrib
 			}
 		}

@@ -121,8 +121,42 @@ func BootstrapQuantile(xs []float64, alpha float64, b int, rng *rand.Rand) (Boot
 	if b <= 0 {
 		return BootstrapResult{}, errors.New("stats: bootstrap needs at least one replicate")
 	}
-	reps := make([]float64, b)
-	resample := make([]float64, len(xs))
+	return BootstrapQuantileWith(nil, xs, alpha, b, rng)
+}
+
+// BootstrapScratch holds the reusable buffers of BootstrapQuantileWith.
+// The zero value is ready to use.
+type BootstrapScratch struct {
+	reps, resample []float64
+}
+
+func grown(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// BootstrapQuantileWith is BootstrapQuantile with caller-owned scratch
+// buffers, for hot loops that estimate many series back to back; a nil
+// scratch allocates fresh buffers. The rng draw sequence and the result
+// are identical to BootstrapQuantile's.
+func BootstrapQuantileWith(sc *BootstrapScratch, xs []float64, alpha float64, b int, rng *rand.Rand) (BootstrapResult, error) {
+	if len(xs) == 0 {
+		return BootstrapResult{}, errors.New("stats: bootstrap of empty sample")
+	}
+	if alpha < 0 || alpha > 1 {
+		return BootstrapResult{}, errors.New("stats: bootstrap quantile level outside [0,1]")
+	}
+	if b <= 0 {
+		return BootstrapResult{}, errors.New("stats: bootstrap needs at least one replicate")
+	}
+	if sc == nil {
+		sc = &BootstrapScratch{}
+	}
+	sc.reps = grown(sc.reps, b)
+	sc.resample = grown(sc.resample, len(xs))
+	reps, resample := sc.reps, sc.resample
 	for i := 0; i < b; i++ {
 		for j := range resample {
 			resample[j] = xs[rng.IntN(len(xs))]

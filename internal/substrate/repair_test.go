@@ -1,0 +1,121 @@
+package substrate
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/olive-vne/olive/internal/graph"
+)
+
+func randSubstrateGraph(rng *rand.Rand, n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(graph.Node{Cap: 10, Cost: 0.5 + rng.Float64()})
+	}
+	for i := 1; i < n; i++ {
+		g.AddLink(graph.NodeID(rng.Intn(i)), graph.NodeID(i), 10, 0.5+rng.Float64())
+	}
+	for i := 0; i < 2*n; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			g.AddLink(graph.NodeID(a), graph.NodeID(b), 10, 0.5+rng.Float64())
+		}
+	}
+	return g
+}
+
+// TestTreeCacheIncrementalEquivalence drives a State's shortest-path
+// cache through many link-price rounds — small SetPrice pokes and bulk
+// SetPrices rounds, the access pattern of plan pricing — and checks
+// after every round that cached trees (mostly served by incremental
+// repair) are bitwise identical to trees computed from scratch on a
+// pristine State with the same prices: same Dist values, same paths.
+func TestTreeCacheIncrementalEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := randSubstrateGraph(rng, 60)
+	st := New(g)
+	linkBase := g.NumNodes()
+	nEl := g.NumElements()
+
+	pr := make([]float64, nEl)
+	copy(pr, st.prices)
+
+	checkAll := func(round int) {
+		ref := NewWithPrices(g, pr)
+		for src := 0; src < g.NumNodes(); src++ {
+			ct := st.Tree(graph.NodeID(src))
+			rt := ref.Tree(graph.NodeID(src))
+			for dst := 0; dst < g.NumNodes(); dst++ {
+				if ct.Dist[dst] != rt.Dist[dst] {
+					t.Fatalf("round %d: Dist[%d→%d] cached %v != fresh %v",
+						round, src, dst, ct.Dist[dst], rt.Dist[dst])
+				}
+				cp, cok := st.PathBetween(graph.NodeID(src), graph.NodeID(dst))
+				rp, rok := ref.PathBetween(graph.NodeID(src), graph.NodeID(dst))
+				if cok != rok || len(cp.Links) != len(rp.Links) {
+					t.Fatalf("round %d: path %d→%d shape differs", round, src, dst)
+				}
+				for k := range cp.Links {
+					if cp.Links[k] != rp.Links[k] {
+						t.Fatalf("round %d: path %d→%d link %d: cached %d != fresh %d",
+							round, src, dst, k, cp.Links[k], rp.Links[k])
+					}
+				}
+			}
+		}
+	}
+
+	// Warm the whole cache, then perturb.
+	checkAll(-1)
+	for round := 0; round < 40; round++ {
+		if round%5 == 4 {
+			// Bulk round: SetPrices with several links (and a node) moved.
+			for i := 0; i < 4; i++ {
+				pr[linkBase+rng.Intn(nEl-linkBase)] = 0.5 + rng.Float64()
+			}
+			pr[rng.Intn(linkBase)] = 0.5 + rng.Float64()
+			st.SetPrices(pr)
+		} else {
+			// Poke rounds: individual SetPrice calls.
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				e := linkBase + rng.Intn(nEl-linkBase)
+				pr[e] = 0.5 + rng.Float64()
+				st.SetPrice(graph.ElementID(e), pr[e])
+			}
+		}
+		checkAll(round)
+	}
+
+	repaired, recomputed := st.RepairStats()
+	if repaired == 0 {
+		t.Fatalf("no tree refresh took the incremental path (recomputed=%d) — cache equivalence test is vacuous", recomputed)
+	}
+	t.Logf("repaired=%d recomputed=%d", repaired, recomputed)
+}
+
+// TestDeltaLogOverflowFallsBack floods the delta log past its cap and
+// checks stale trees still come back correct (via full recompute).
+func TestDeltaLogOverflowFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randSubstrateGraph(rng, 30)
+	st := New(g)
+	st.Tree(0) // cache one tree at the initial epoch
+	linkBase := g.NumNodes()
+	nEl := g.NumElements()
+
+	pr := make([]float64, nEl)
+	copy(pr, st.prices)
+	for i := 0; i < maxDeltaLog+50; i++ {
+		e := linkBase + rng.Intn(nEl-linkBase)
+		pr[e] = 0.5 + rng.Float64()
+		st.SetPrice(graph.ElementID(e), pr[e])
+	}
+
+	ref := NewWithPrices(g, pr)
+	ct, rt := st.Tree(0), ref.Tree(0)
+	for i := range ct.Dist {
+		if ct.Dist[i] != rt.Dist[i] {
+			t.Fatalf("Dist[%d] after log overflow: %v != %v", i, ct.Dist[i], rt.Dist[i])
+		}
+	}
+}

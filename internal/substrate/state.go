@@ -54,17 +54,61 @@ type State struct {
 	linkW     graph.WeightFunc
 
 	// trees[src] caches the Dijkstra tree from src under the current
-	// prices; entries with a stale epoch are recomputed in place.
+	// prices; entries with a stale epoch are incrementally repaired (or
+	// recomputed) in place.
 	trees []cachedTree
+
+	// deltaLog records every link-price change since logFloor, newest
+	// last, so a stale tree knows exactly which weights moved since the
+	// epoch it was computed at. When the log would outgrow its cap it is
+	// discarded and logFloor jumps to the current epoch: trees older
+	// than logFloor lost their delta trail and must fully recompute.
+	deltaLog []priceDelta
+	logFloor uint64
+
+	dirty   []graph.LinkDelta
+	repair  graph.RepairScratch
+	repairs repairStats
 
 	viewPool []*View
 	arena    Arena
+
+	// selfPaths memoizes the trivial src==dst paths (one per node):
+	// they are immutable and end up shared across many embeddings.
+	selfPaths []graph.Path
 }
 
 type cachedTree struct {
 	t     *graph.ShortestPathTree
 	epoch uint64
+	// tieFree certifies that every reachable node of t has a unique
+	// shortest-path achiever, making parent links weight-determined —
+	// the precondition for bit-exact incremental repair.
+	tieFree bool
 }
+
+// priceDelta is one entry of the link-price delta log: link lid changed
+// away from old at the given (post-bump) epoch.
+type priceDelta struct {
+	epoch uint64
+	lid   graph.LinkID
+	old   float64
+}
+
+// repairStats counts incremental-repair outcomes, exposed for tests and
+// observability (RepairStats).
+type repairStats struct {
+	Repaired, Recomputed uint64
+}
+
+// Delta-log and repair tuning. The log cap bounds memory and per-tree
+// delta-collection cost; the dirty cap bounds teardown work (past it a
+// full recompute is cheaper anyway); damage is capped in Tree at half
+// the node count for the same reason.
+const (
+	maxDeltaLog   = 512
+	maxDirtyLinks = 32
+)
 
 // New returns a State over g with the residual vector initialized to the
 // element capacities and prices initialized to the element costs — the
@@ -91,6 +135,7 @@ func newState(g *graph.Graph, pr []float64) *State {
 		nodePrice: make([]float64, g.NumNodes()),
 		trees:     make([]cachedTree, g.NumNodes()),
 		epoch:     1,
+		logFloor:  1,
 	}
 	copy(s.nodePrice, pr[:g.NumNodes()])
 	linkBase := g.NumNodes()
@@ -129,6 +174,7 @@ func (s *State) SetPrice(e graph.ElementID, p float64) {
 	if s.prices[e] == p {
 		return
 	}
+	old := s.prices[e]
 	s.prices[e] = p
 	s.priceGen++
 	if n, ok := s.g.ElementNode(e); ok {
@@ -136,6 +182,19 @@ func (s *State) SetPrice(e graph.ElementID, p float64) {
 		return
 	}
 	s.epoch++
+	s.logDelta(graph.LinkID(int(e)-s.g.NumNodes()), old)
+}
+
+// logDelta appends one link-price change to the delta log, discarding
+// the log (and stranding older trees on the full-recompute path) when
+// it would outgrow its cap.
+func (s *State) logDelta(lid graph.LinkID, old float64) {
+	if len(s.deltaLog) >= maxDeltaLog {
+		s.deltaLog = s.deltaLog[:0]
+		s.logFloor = s.epoch
+		return
+	}
+	s.deltaLog = append(s.deltaLog, priceDelta{epoch: s.epoch, lid: lid, old: old})
 }
 
 // SetPrices replaces the whole price vector (copied). The price epoch is
@@ -145,23 +204,30 @@ func (s *State) SetPrices(pr []float64) {
 	if len(pr) != len(s.prices) {
 		panic("substrate: SetPrices with wrong-length vector")
 	}
+	linkBase := s.g.NumNodes()
 	changed, linksChanged := false, false
-	for i, p := range pr {
+	for i, p := range pr[:linkBase] {
 		if p != s.prices[i] {
 			changed = true
-			if i >= s.g.NumNodes() {
+			break
+		}
+	}
+	// Link elements are scanned in full so every change lands in the
+	// delta log; one SetPrices bumps the epoch once however many links
+	// move, and the log entries all carry that epoch.
+	for i := linkBase; i < len(pr); i++ {
+		if pr[i] != s.prices[i] {
+			if !linksChanged {
 				linksChanged = true
-				break
+				s.epoch++
 			}
+			s.logDelta(graph.LinkID(i-linkBase), s.prices[i])
 		}
 	}
 	copy(s.prices, pr)
-	copy(s.nodePrice, pr[:s.g.NumNodes()])
-	if changed {
+	copy(s.nodePrice, pr[:linkBase])
+	if changed || linksChanged {
 		s.priceGen++
-	}
-	if linksChanged {
-		s.epoch++
 	}
 }
 
@@ -211,16 +277,78 @@ func (s *State) Release(e *vnet.Embedding, d float64) { e.Release(s.res, d) }
 // ---- Shortest-path cache ----
 
 // Tree returns the shortest-path tree rooted at src under the current
-// prices, computing it on first use (or after a link-price change) and
-// caching it. The returned tree is owned by the State; callers must not
-// retain it across price changes.
+// prices, computing it on first use and caching it. A cached tree left
+// stale by a link-price change is incrementally repaired when the delta
+// log shows few links moved and the tree is certified tie-free (repair
+// is then provably bit-identical to recomputing — see
+// graph.RepairLinkWeights); otherwise it is recomputed into its
+// existing buffers. The returned tree is owned by the State; callers
+// must not retain it across price changes.
 func (s *State) Tree(src graph.NodeID) *graph.ShortestPathTree {
 	ct := &s.trees[src]
-	if ct.t == nil || ct.epoch != s.epoch {
-		ct.t = s.g.DijkstraInto(ct.t, src, s.linkW)
-		ct.epoch = s.epoch
+	if ct.t != nil && ct.epoch == s.epoch {
+		return ct.t
 	}
+	lw := s.prices[s.g.NumNodes():]
+	if ct.t != nil && ct.tieFree && ct.epoch >= s.logFloor {
+		if dirty, ok := s.collectDirty(ct.epoch); ok &&
+			ct.t.RepairLinkWeights(&s.repair, lw, dirty, s.g.NumNodes()/2) {
+			ct.epoch = s.epoch
+			s.repairs.Repaired++
+			return ct.t
+		}
+	}
+	ct.t = s.g.DijkstraLinkWeightsInto(ct.t, src, lw)
+	ct.tieFree = ct.t.TieFreeLinkWeights(lw)
+	ct.epoch = s.epoch
+	s.repairs.Recomputed++
 	return ct.t
+}
+
+// collectDirty condenses the delta-log suffix newer than since into one
+// LinkDelta per net-changed link (Old the weight at epoch since, New
+// the current weight), reporting false when more than maxDirtyLinks
+// moved — there a full recompute beats repair.
+func (s *State) collectDirty(since uint64) ([]graph.LinkDelta, bool) {
+	dirty := s.dirty[:0]
+	linkBase := s.g.NumNodes()
+outer:
+	for _, d := range s.deltaLog {
+		if d.epoch <= since {
+			continue
+		}
+		for i := range dirty {
+			if dirty[i].Link == d.lid {
+				continue outer // keep the first (oldest) Old per link
+			}
+		}
+		if len(dirty) > maxDirtyLinks {
+			s.dirty = dirty
+			return nil, false
+		}
+		dirty = append(dirty, graph.LinkDelta{
+			Link: d.lid, Old: d.old, New: s.prices[linkBase+int(d.lid)],
+		})
+	}
+	// Compact out links that netted back to their old weight — they are
+	// no-ops for the tree even though the log mentions them.
+	kept := dirty[:0]
+	for _, d := range dirty {
+		if d.New != d.Old {
+			kept = append(kept, d)
+		}
+	}
+	s.dirty = dirty[:0]
+	if len(kept) > maxDirtyLinks {
+		return nil, false
+	}
+	return kept, true
+}
+
+// RepairStats reports how many stale-tree refreshes were served by
+// incremental repair vs full recomputation since the State was created.
+func (s *State) RepairStats() (repaired, recomputed uint64) {
+	return s.repairs.Repaired, s.repairs.Recomputed
 }
 
 // Dist returns the price-weighted shortest distance from src to dst.
@@ -238,9 +366,21 @@ func (s *State) DistRow(src graph.NodeID) []float64 { return s.Tree(src).Dist }
 // the empty path, mirroring graph.AllPairs.Path.
 func (s *State) PathBetween(src, dst graph.NodeID) (graph.Path, bool) {
 	if src == dst {
-		return graph.Path{Nodes: []graph.NodeID{src}}, true
+		return s.selfPath(src), true
 	}
 	return s.Tree(src).PathTo(dst)
+}
+
+// selfPath returns the memoized trivial path at src. The returned path
+// is shared and immutable.
+func (s *State) selfPath(src graph.NodeID) graph.Path {
+	if s.selfPaths == nil {
+		s.selfPaths = make([]graph.Path, s.g.NumNodes())
+	}
+	if s.selfPaths[src].Nodes == nil {
+		s.selfPaths[src] = graph.Path{Nodes: []graph.NodeID{src}}
+	}
+	return s.selfPaths[src]
 }
 
 // ---- Exclusion views ----
@@ -335,7 +475,7 @@ func (v *View) DistRow(src graph.NodeID) []float64 { return v.Tree(src).Dist }
 // ok is false if dst is unreachable. src == dst yields the empty path.
 func (v *View) PathBetween(src, dst graph.NodeID) (graph.Path, bool) {
 	if src == dst {
-		return graph.Path{Nodes: []graph.NodeID{src}}, true
+		return v.st.selfPath(src), true
 	}
 	return v.Tree(src).PathTo(dst)
 }

@@ -46,7 +46,11 @@ func NewEmbedding(g *graph.Graph, app *App, nodeMap []graph.NodeID, pathMap []gr
 	if len(pathMap) != len(app.Links) {
 		return nil, fmt.Errorf("vnet: path map has %d entries for %d virtual links", len(pathMap), len(app.Links))
 	}
-	dense := make(map[graph.ElementID]float64)
+	// Accumulate the sparse usage vector in a small stack-backed buffer:
+	// supports are tiny (≤ ~15 elements), so a linear-scan merge beats a
+	// map — and spends zero allocations in the common case.
+	var stack [24]ElementUse
+	acc := stack[:0]
 	for i, v := range app.VNFs {
 		n := g.Node(nodeMap[i])
 		eta := Eff(v, n)
@@ -56,7 +60,7 @@ func NewEmbedding(g *graph.Graph, app *App, nodeMap []graph.NodeID, pathMap []gr
 		if v.Size == 0 {
 			continue
 		}
-		dense[g.NodeElement(nodeMap[i])] += v.Size * eta
+		acc = addUse(acc, g.NodeElement(nodeMap[i]), v.Size*eta)
 	}
 	for i, vl := range app.Links {
 		p := pathMap[i]
@@ -71,19 +75,31 @@ func NewEmbedding(g *graph.Graph, app *App, nodeMap []graph.NodeID, pathMap []gr
 			return nil, fmt.Errorf("vnet: virtual link %d path runs %d→%d, want %d→%d", i, p.Src(), p.Dst(), from, to)
 		}
 		for _, lid := range p.Links {
-			dense[g.LinkElement(lid)] += vl.Size * LinkEff(vl, g.Link(lid))
+			acc = addUse(acc, g.LinkElement(lid), vl.Size*LinkEff(vl, g.Link(lid)))
 		}
 	}
 	e := &Embedding{App: app, NodeMap: nodeMap, PathMap: pathMap}
-	e.use = make([]ElementUse, 0, len(dense))
-	for elem, amt := range dense {
-		e.use = append(e.use, ElementUse{Elem: elem, Amount: amt})
-	}
+	e.use = make([]ElementUse, len(acc))
+	copy(e.use, acc)
 	sortUses(e.use)
 	for _, u := range e.use {
 		e.unitCost += u.Amount * g.ElementCost(u.Elem)
 	}
 	return e, nil
+}
+
+// addUse merges one contribution into the accumulating usage vector,
+// summing amounts for an element already present — the same
+// one-entry-per-element invariant the map accumulation kept, with the
+// same per-element addition order (loop order).
+func addUse(acc []ElementUse, elem graph.ElementID, amt float64) []ElementUse {
+	for i := range acc {
+		if acc[i].Elem == elem {
+			acc[i].Amount += amt
+			return acc
+		}
+	}
+	return append(acc, ElementUse{Elem: elem, Amount: amt})
 }
 
 func sortUses(us []ElementUse) {

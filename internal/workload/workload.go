@@ -55,6 +55,29 @@ func (t *Trace) Split(histSlots int) (hist, online *Trace, err error) {
 	}
 	hist = &Trace{Slots: histSlots}
 	online = &Trace{Slots: t.Slots - histSlots}
+	// Arrival-sorted traces (every generator here produces one) split
+	// without copying the history half: it aliases the input's prefix,
+	// and the rebased online half is built in one exact-size allocation.
+	nHist, sorted := 0, true
+	for i, r := range t.Requests {
+		if r.Arrive < histSlots {
+			if i != nHist {
+				sorted = false
+				break
+			}
+			nHist++
+		}
+	}
+	if sorted {
+		hist.Requests = t.Requests[:nHist:nHist]
+		online.Requests = make([]Request, len(t.Requests)-nHist)
+		for i, r := range t.Requests[nHist:] {
+			r.Arrive -= histSlots
+			r.ID = i
+			online.Requests[i] = r
+		}
+		return hist, online, nil
+	}
 	for _, r := range t.Requests {
 		if r.Arrive < histSlots {
 			hist.Requests = append(hist.Requests, r)
@@ -67,9 +90,24 @@ func (t *Trace) Split(histSlots int) (hist, online *Trace, err error) {
 	return hist, online, nil
 }
 
-// PerSlot returns the requests grouped by arrival slot.
+// PerSlot returns the requests grouped by arrival slot. The groups share
+// one backing array, carved per slot.
 func (t *Trace) PerSlot() [][]Request {
 	slots := make([][]Request, t.Slots)
+	cnt := make([]int, t.Slots)
+	total := 0
+	for _, r := range t.Requests {
+		if r.Arrive >= 0 && r.Arrive < t.Slots {
+			cnt[r.Arrive]++
+			total++
+		}
+	}
+	backing := make([]Request, total)
+	off := 0
+	for s, n := range cnt {
+		slots[s] = backing[off : off : off+n]
+		off += n
+	}
 	for _, r := range t.Requests {
 		if r.Arrive >= 0 && r.Arrive < t.Slots {
 			slots[r.Arrive] = append(slots[r.Arrive], r)
@@ -267,6 +305,10 @@ func GenerateMMPP(g *graph.Graph, p Params, rng *rand.Rand) (*Trace, error) {
 	}
 
 	tr := &Trace{Slots: p.Slots}
+	// One up-front allocation near the expected request count (mean
+	// λ·N·slots) instead of log₂(n) append doublings over ~megabytes.
+	expect := int(p.LambdaPerNode * float64(len(edge)) * float64(p.Slots))
+	tr.Requests = make([]Request, 0, expect+expect/8+64)
 	high := rng.Float64() < 0.5
 	for t := 0; t < p.Slots; t++ {
 		mod := 1.0
@@ -354,6 +396,8 @@ func GenerateCAIDA(g *graph.Graph, p Params, cp CAIDAParams, rng *rand.Rand) (*T
 		period = p.Slots
 	}
 	tr := &Trace{Slots: p.Slots}
+	expect := int(total * float64(p.Slots))
+	tr.Requests = make([]Request, 0, expect+expect/8+64)
 	for t := 0; t < p.Slots; t++ {
 		mod := 1 + cp.DiurnalAmplitude*math.Sin(2*math.Pi*float64(t)/float64(period))
 		for i := range srcRate {
