@@ -89,6 +89,13 @@ type Problem struct {
 	// codebase. Set it before the first Solve.
 	ForrestTomlin bool
 
+	// Pricing selects the simplex entering-column rule (see pricing.go):
+	// PricingDevex (the default, with partial pricing) or
+	// PricingDantzig (the textbook full-scan ablation). Both reach an
+	// optimum; on degenerate problems they can land on different equally
+	// optimal vertices. Set it before the first Solve.
+	Pricing PricingRule
+
 	// ws holds the reusable solve workspace; claimed atomically so
 	// concurrent solves on one Problem degrade to fresh allocation
 	// instead of racing.
@@ -112,8 +119,12 @@ func init() {
 // threading an option through every layer.
 func SetForrestTomlin(on bool) { ftDefault.Store(on) }
 
-// NewProblem returns an empty problem.
-func NewProblem() *Problem { return &Problem{ForrestTomlin: ftDefault.Load()} }
+// NewProblem returns an empty problem. Pricing is left at
+// PricingDefault, which resolves to the process-wide rule at solve
+// time — so SetPricing/OLIVE_LP_PRICING affect problems already built.
+func NewProblem() *Problem {
+	return &Problem{ForrestTomlin: ftDefault.Load()}
+}
 
 // AddRow appends a constraint row and returns its index.
 func (p *Problem) AddRow(sense Sense, rhs float64) int {
@@ -212,6 +223,14 @@ type Solution struct {
 	// Refactorizations counts basis LU rebuilds (scheduled eta-file
 	// flushes plus weak-pivot and repair refreshes).
 	Refactorizations int
+	// PricingScans counts the nonbasic columns examined by pricing
+	// across the solve — the work partial pricing exists to cut.
+	PricingScans int
+	// BlandPivots counts the subset of Iterations taken under the
+	// Bland anti-cycling fallback rather than the configured rule.
+	BlandPivots int
+	// Rule is the pricing rule the solve ran under.
+	Rule PricingRule
 	// WarmStarted reports that this solution came out of a successful
 	// warm start (SolveFrom without the cold fallback).
 	WarmStarted bool
@@ -325,7 +344,10 @@ func (p *Problem) solveOnce(perturb float64, warm *Basis) (*Solution, error) {
 				return nil, errors.New("lp: phase 1 unbounded (internal error)")
 			}
 			if s.objective(phase1Cost) > feasTol*float64(s.m) {
-				return &Solution{Status: Infeasible, Iterations: s.iters, Refactorizations: s.refacts}, nil
+				return &Solution{
+					Status: Infeasible, Iterations: s.iters, Refactorizations: s.refacts,
+					PricingScans: s.pscans, BlandPivots: s.blandPivots, Rule: s.rule,
+				}, nil
 			}
 			// Freeze artificials at zero for phase 2.
 			for j := s.artBase; j < len(s.cols); j++ {
@@ -338,9 +360,23 @@ func (p *Problem) solveOnce(perturb float64, warm *Basis) (*Solution, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lp: phase 2: %w", err)
 	}
-	sol := &Solution{Status: st, Iterations: s.iters, Refactorizations: s.refacts}
+	sol := &Solution{
+		Status: st, Iterations: s.iters, Refactorizations: s.refacts,
+		PricingScans: s.pscans, BlandPivots: s.blandPivots, Rule: s.rule,
+	}
 	if st != Optimal {
 		return sol, nil
+	}
+	// Certify from a clean factorization: eta updates accumulated since
+	// the last refactorization drift the duals (and through them the
+	// reduced costs column generation prices against) by up to ~1e-6 on
+	// badly scaled bases. One rebuild at termination removes that drift;
+	// warm-started re-solves that pivot zero times skip it.
+	if s.lu.nEtas() > 0 {
+		if err := s.refactorize(); err != nil {
+			return nil, fmt.Errorf("lp: final refactorization: %w", err)
+		}
+		sol.Refactorizations = s.refacts
 	}
 	x := s.primal()
 	sol.X = x[:s.nStruct]

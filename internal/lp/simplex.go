@@ -49,6 +49,31 @@ type simplex struct {
 	// ft selects Forrest–Tomlin basis updates (see ft.go) for every
 	// factorization of this solve.
 	ft bool
+
+	// pricing state (see pricing.go)
+	rule        PricingRule
+	gamma       []float64 // Devex reference weights, one per column
+	rhobuf      []float64 // BTRAN(e_r) pivot-row buffer, matrix-row space
+	unitbuf     []float64 // unit-vector input for the pivot-row BTRAN
+	scanCursor  int       // partial-pricing rotation cursor
+	pscans      int       // nonbasic columns examined by pricing
+	blandPivots int       // pivots taken under the Bland fallback
+
+	// Row-wise matrix index for the Devex weight update: rowIdx[i]
+	// lists the columns with a nonzero in row i, so the pivot-row pass
+	// touches only the columns intersecting ρ's support instead of
+	// every nonbasic column. Built lazily on the first Devex pivot,
+	// extended incrementally as repair paths append artificials.
+	rowIdx       [][]rowEnt
+	rowIdxN      int       // columns indexed into rowIdx so far
+	devexAcc     []float64 // scatter accumulator, column space (kept zeroed)
+	devexTouched []int32   // columns dirtied in the current scatter
+}
+
+// rowEnt is one row-wise matrix entry: column index and coefficient.
+type rowEnt struct {
+	col  int32
+	coef float64
 }
 
 // newSimplex builds the working state from a problem: GE rows normalized
@@ -58,7 +83,7 @@ type simplex struct {
 // alias the problem's own columns (the simplex never mutates entries).
 func (p *Problem) newSimplex(perturb float64, ws *workspace) (*simplex, []float64) {
 	m := len(p.rhs)
-	s := &simplex{m: m, nStruct: p.numVars, ws: ws, ft: p.ForrestTomlin}
+	s := &simplex{m: m, nStruct: p.numVars, ws: ws, ft: p.ForrestTomlin, rule: p.Pricing.resolve()}
 
 	ws.rowNeg = growSlice(ws.rowNeg, m)
 	rowNeg := ws.rowNeg
@@ -139,6 +164,18 @@ func (p *Problem) newSimplex(perturb float64, ws *workspace) (*simplex, []float6
 	s.ybuf = growSlice(ws.ybuf, m)
 	s.cbbuf = growSlice(ws.cbbuf, m)
 	s.rbuf = growSlice(ws.rbuf, m)
+	s.gamma = growSlice(ws.gamma, 0)
+	s.rhobuf = growSlice(ws.rhobuf, m)
+	s.unitbuf = growSlice(ws.unitbuf, m)
+	// Row index rebuilds lazily per solve (see ensureRowIndex); reuse the
+	// outer and inner slices, emptied.
+	s.rowIdx = growSlice(ws.rowIdx, m)
+	for i := range s.rowIdx {
+		s.rowIdx[i] = s.rowIdx[i][:0]
+	}
+	s.rowIdxN = 0
+	s.devexAcc = growSlice(ws.devexAcc, 0)
+	s.devexTouched = growSlice(ws.devexTouched, 0)
 	return s, rowNeg
 }
 
@@ -500,44 +537,19 @@ func (s *simplex) iterate(cost []float64, maxIter int) (Status, error) {
 		y := s.ybuf
 		s.dualsInto(cost, y)
 
-		// Pricing: Dantzig rule; Bland's rule after a long
-		// degenerate streak to guarantee termination.
-		enter := -1
+		// Pricing: Devex (default) or Dantzig per the problem's rule;
+		// Bland's rule after a long degenerate streak to guarantee
+		// termination (see pricing.go).
+		var enter int
 		var enterDir float64 // +1 entering rises from lower, −1 falls from upper
 		useBland := degenerate > blandAfter
-		best := 0.0
-		for j := 0; j < len(s.cols); j++ {
-			if s.status[j] == basic {
-				continue
-			}
-			// Scale-aware optimality tolerance: with objective
-			// coefficients spanning many orders of magnitude (the
-			// PLAN-VNE costs reach 1e8), an absolute cutoff chases
-			// floating-point phantoms in c_j − y·A_j forever.
-			tol := dualTol * (1 + math.Abs(costOf(cost, j)))
-			switch s.status[j] {
-			case atLower:
-				d := s.reducedCost(cost, y, j)
-				if d < -tol && s.lo[j] < s.up[j] {
-					if useBland {
-						enter, enterDir = j, 1
-					} else if -d > best {
-						best, enter, enterDir = -d, j, 1
-					}
-				}
-			case atUpper:
-				d := s.reducedCost(cost, y, j)
-				if d > tol {
-					if useBland {
-						enter, enterDir = j, -1
-					} else if d > best {
-						best, enter, enterDir = d, j, -1
-					}
-				}
-			}
-			if useBland && enter >= 0 {
-				break
-			}
+		if !useBland && s.rule == PricingDevex {
+			s.ensureGamma()
+		}
+		if useBland {
+			enter, enterDir = s.priceBland(cost, y)
+		} else {
+			enter, enterDir, _ = s.price(cost, y)
 		}
 		if enter < 0 {
 			return Optimal, nil
@@ -595,6 +607,7 @@ func (s *simplex) iterate(cost []float64, maxIter int) (Status, error) {
 
 		if leave < 0 {
 			// Bound flip: entering variable jumps to its other bound.
+			// The basis is unchanged, so Devex weights stay as they are.
 			if enterDir > 0 {
 				s.status[enter] = atUpper
 				s.xN[enter] = s.up[enter]
@@ -603,6 +616,11 @@ func (s *simplex) iterate(cost []float64, maxIter int) (Status, error) {
 				s.xN[enter] = s.lo[enter]
 			}
 			continue
+		}
+
+		if s.rule == PricingDevex {
+			// Reference-weight update against the pre-pivot basis.
+			s.devexUpdate(enter, leave, w)
 		}
 
 		// Pivot: enter replaces basis[leave].
@@ -759,6 +777,7 @@ func (s *simplex) blandPivot(enter int, enterDir float64, w []float64, degenerat
 		*degenerate = 0
 	}
 	s.iters++
+	s.blandPivots++
 	if rmin > 0 {
 		for i := 0; i < s.m; i++ {
 			s.xB[i] -= enterDir * w[i] * rmin

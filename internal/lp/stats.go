@@ -17,6 +17,13 @@ type SolveStats struct {
 	Pivots int
 	// Refactorizations is the basis LU rebuild count.
 	Refactorizations int
+	// PricingScans counts the nonbasic columns pricing examined.
+	PricingScans int
+	// BlandPivots is the subset of Pivots taken under the Bland
+	// anti-cycling fallback.
+	BlandPivots int
+	// Rule is the pricing rule the solve ran under.
+	Rule PricingRule
 	// WarmStarted reports a successful warm start (SolveFrom that did
 	// not fall back to a cold solve).
 	WarmStarted bool
@@ -35,14 +42,27 @@ type CountersSnapshot struct {
 	Pivots int64
 	// Refactorizations is the total basis LU rebuild count.
 	Refactorizations int64
+	// PricingScans is the total nonbasic-column count examined by
+	// pricing — the scan work the Devex partial-pricing sections cut.
+	PricingScans int64
+	// PivotsDevex/PivotsDantzig/PivotsBland split Pivots by the rule
+	// that priced each pivot's entering column (Bland pivots are the
+	// anti-cycling fallback, whatever the configured rule).
+	PivotsDevex   int64
+	PivotsDantzig int64
+	PivotsBland   int64
 }
 
 var counters struct {
-	solves       atomic.Int64
-	warmAttempts atomic.Int64
-	warmHits     atomic.Int64
-	pivots       atomic.Int64
-	refacts      atomic.Int64
+	solves        atomic.Int64
+	warmAttempts  atomic.Int64
+	warmHits      atomic.Int64
+	pivots        atomic.Int64
+	refacts       atomic.Int64
+	pricingScans  atomic.Int64
+	pivotsDevex   atomic.Int64
+	pivotsDantzig atomic.Int64
+	pivotsBland   atomic.Int64
 }
 
 var solveHook atomic.Pointer[func(SolveStats)]
@@ -55,6 +75,10 @@ func Stats() CountersSnapshot {
 		WarmHits:         counters.warmHits.Load(),
 		Pivots:           counters.pivots.Load(),
 		Refactorizations: counters.refacts.Load(),
+		PricingScans:     counters.pricingScans.Load(),
+		PivotsDevex:      counters.pivotsDevex.Load(),
+		PivotsDantzig:    counters.pivotsDantzig.Load(),
+		PivotsBland:      counters.pivotsBland.Load(),
 	}
 }
 
@@ -75,6 +99,19 @@ func recordSolve(sol *Solution) {
 	counters.solves.Add(1)
 	counters.pivots.Add(int64(sol.Iterations))
 	counters.refacts.Add(int64(sol.Refactorizations))
+	counters.pricingScans.Add(int64(sol.PricingScans))
+	bland := int64(sol.BlandPivots)
+	if bland > 0 {
+		counters.pivotsBland.Add(bland)
+	}
+	if rulePiv := int64(sol.Iterations) - bland; rulePiv > 0 {
+		switch sol.Rule {
+		case PricingDantzig:
+			counters.pivotsDantzig.Add(rulePiv)
+		default:
+			counters.pivotsDevex.Add(rulePiv)
+		}
+	}
 	if sol.WarmStarted {
 		counters.warmHits.Add(1)
 	}
@@ -83,6 +120,9 @@ func recordSolve(sol *Solution) {
 			Status:           sol.Status,
 			Pivots:           sol.Iterations,
 			Refactorizations: sol.Refactorizations,
+			PricingScans:     sol.PricingScans,
+			BlandPivots:      sol.BlandPivots,
+			Rule:             sol.Rule,
 			WarmStarted:      sol.WarmStarted,
 		})
 	}

@@ -102,6 +102,11 @@ type workspace struct {
 	wbuf              []float64
 	phase1Cost        []float64
 	xbuf              []float64
+	gamma             []float64
+	rhobuf, unitbuf   []float64
+	rowIdx            [][]rowEnt
+	devexAcc          []float64
+	devexTouched      []int32
 	fw                luWorkspace
 	lus               [2]*basisLU
 }
@@ -130,6 +135,10 @@ func (ws *workspace) reclaim(s *simplex) {
 	ws.basis = s.basis
 	ws.slackOf = s.slackOf
 	ws.ybuf, ws.cbbuf, ws.rbuf = s.ybuf, s.cbbuf, s.rbuf
+	ws.gamma = s.gamma
+	ws.rhobuf, ws.unitbuf = s.rhobuf, s.unitbuf
+	ws.rowIdx = s.rowIdx
+	ws.devexAcc, ws.devexTouched = s.devexAcc, s.devexTouched
 }
 
 // wsPool recycles workspaces across Problem lifetimes. Short-lived

@@ -1,0 +1,85 @@
+package plan
+
+import (
+	"sort"
+
+	"github.com/olive-vne/olive/internal/lp"
+)
+
+// warmLRU is the Solver's signature-keyed basis memory: variable/row
+// statuses from past master solves, keyed by stable identity strings
+// and bounded by a least-recently-used cap. Before PR 8 the memory was
+// rebuilt from scratch every Build, so a windowed or alternating
+// workload (two masters taking turns on one Solver) kept forgetting the
+// other master's basis. Accumulating entries fixes that — and the LRU
+// cap keeps a long-lived Solver (a serve process replanning for hours)
+// from growing its memory without bound as classes and embeddings churn.
+//
+// Eviction is batched: when an insert pushes the map past cap, the
+// oldest entries are dropped down to ¾·cap in one pass, amortizing the
+// sort. Recency is bumped on both read and write — a key the warm-start
+// remap still consults is a key worth keeping.
+type warmLRU struct {
+	cap     int
+	tick    int64
+	entries map[string]warmEntry
+}
+
+type warmEntry struct {
+	st   lp.VarStatus
+	tick int64
+}
+
+func newWarmLRU(cap int) *warmLRU {
+	return &warmLRU{cap: cap, entries: make(map[string]warmEntry)}
+}
+
+func (l *warmLRU) len() int { return len(l.entries) }
+
+// get returns the remembered status of key, bumping its recency.
+func (l *warmLRU) get(key string) (lp.VarStatus, bool) {
+	e, ok := l.entries[key]
+	if !ok {
+		return 0, false
+	}
+	l.tick++
+	e.tick = l.tick
+	l.entries[key] = e
+	return e.st, true
+}
+
+// put inserts or refreshes key, evicting the least-recently-used
+// entries when the cap is exceeded.
+func (l *warmLRU) put(key string, st lp.VarStatus) {
+	l.tick++
+	l.entries[key] = warmEntry{st: st, tick: l.tick}
+	if len(l.entries) > l.cap {
+		l.evict()
+	}
+}
+
+// delete removes key (used when a variable returns to its default
+// status — absence already means nonbasic-at-lower on replay).
+func (l *warmLRU) delete(key string) { delete(l.entries, key) }
+
+// evict drops the oldest entries until the map is at ¾ of cap.
+func (l *warmLRU) evict() {
+	target := l.cap * 3 / 4
+	n := len(l.entries) - target
+	if n <= 0 {
+		return
+	}
+	type kt struct {
+		key  string
+		tick int64
+	}
+	all := make([]kt, 0, len(l.entries))
+	for k, e := range l.entries {
+		all = append(all, kt{k, e.tick})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].tick < all[j].tick })
+	for _, e := range all[:n] {
+		delete(l.entries, e.key)
+	}
+	counters.warmEvictions.Add(int64(n))
+}

@@ -235,12 +235,18 @@ type Options struct {
 	// the most expensive substrate element of its type.
 	RejectionFactor float64
 	// DisableWarmStarts runs every master LP from a cold basis and
-	// ignores the Solver's cross-Build basis memory and solution-support
-	// column pool. An ablation/benchmark knob. Every intermediate LP is
-	// still solved to optimality either way, but the resulting plans can
-	// differ: truncated column generation explores different column sets
-	// when rounds (and consecutive Builds) no longer share state.
+	// ignores the Solver's cross-Build basis memory, solution-support
+	// column pool, and batched candidate-pool pricing. An
+	// ablation/benchmark knob. Every intermediate LP is still solved to
+	// optimality either way, but the resulting plans can differ:
+	// truncated column generation explores different column sets when
+	// rounds (and consecutive Builds) no longer share state.
 	DisableWarmStarts bool
+	// Pricing selects the master LP's simplex pricing rule. The zero
+	// value (lp.PricingDefault) follows the process-wide default —
+	// Devex with partial pricing; lp.PricingDantzig is the full-scan
+	// ablation baseline.
+	Pricing lp.PricingRule
 }
 
 // DefaultOptions returns the paper's plan parameters.
@@ -289,23 +295,53 @@ type Solver struct {
 	dualBuf     []float64
 	priceBuf    embedder.Prices
 
-	// Signature-keyed basis memory from the most recent Build: column
-	// and row statuses of the final master LP basis, keyed by stable
+	// Signature-keyed basis memory accumulated across Builds: column
+	// and row statuses of solved master LP bases, keyed by stable
 	// identities (class, embedding signature, substrate element) rather
 	// than indices, so the next Build — whose master may order classes
 	// and columns differently — can warm-start from it. SLOTOFF's
 	// consecutive per-slot masters and windowed plans differ by a few
 	// columns and demands, which is exactly the regime where a warm
 	// vertex stays feasible and saves most of the cold phase-1 pivots.
-	warmVars map[string]lp.VarStatus
-	warmRows map[string]lp.VarStatus
+	// The memory persists across Builds under an LRU cap (see lru.go),
+	// so masters that alternate on one Solver all keep their bases.
+	warmVars *warmLRU
+	warmRows *warmLRU
 	// pool carries each class's solution-support embeddings (columns
 	// basic or at upper bound in the last master) into the next Build's
 	// seed set. Without it the remembered basis would reference priced-in
 	// columns the fresh master lacks, and the warm start could never
 	// reproduce the vertex it came from.
 	pool map[classKey][]*vnet.Embedding
+	// candPool accumulates the embeddings the pricing oracle has ever
+	// produced per class, across Builds, bounded FIFO per class. Pricing
+	// rounds batch-price these against the element duals with flat dot
+	// products — no oracle run, no per-column FTRANs — and consult the
+	// exact oracle only for classes whose pooled candidates yield no
+	// improving column.
+	candPool map[classKey][]poolCand
 }
+
+// poolCand is one pooled candidate embedding with its memoized
+// signature (so re-pricing rounds dedup without re-deriving it).
+type poolCand struct {
+	e   *vnet.Embedding
+	sig string
+}
+
+// Solver memory policy.
+const (
+	// warmVarCap / warmRowCap bound the signature-keyed basis memory.
+	// Sized for several distinct masters of this repo's largest scenarios
+	// (thousands of columns each) before eviction starts.
+	warmVarCap = 1 << 14
+	warmRowCap = 1 << 13
+	// candPoolPerClass bounds the per-class candidate pool (FIFO).
+	candPoolPerClass = 32
+	// priceTopK is how many improving pooled columns a pricing round
+	// feeds the master per class at once.
+	priceTopK = 2
+)
 
 // NewSolver returns a Solver for the given substrate and applications.
 func NewSolver(g *graph.Graph, apps []*vnet.App) *Solver {
@@ -326,6 +362,9 @@ func NewSolverOn(seedOracle *embedder.Oracle, apps []*vnet.App) *Solver {
 		seedOracle:  seedOracle,
 		priceState:  ps,
 		priceOracle: embedder.ForState(ps),
+		warmVars:    newWarmLRU(warmVarCap),
+		warmRows:    newWarmLRU(warmRowCap),
+		candPool:    make(map[classKey][]poolCand),
 	}
 }
 
@@ -460,6 +499,7 @@ func newMaster(g *graph.Graph, apps []*vnet.App, classes []Class, opts Options) 
 		elemRow: make(map[graph.ElementID]int),
 		sigs:    make(map[string]bool),
 	}
+	m.prob.Pricing = opts.Pricing
 	m.psi = make([]float64, len(classes))
 	for i, c := range classes {
 		if opts.RejectionFactor > 0 {
@@ -490,8 +530,8 @@ func newMaster(g *graph.Graph, apps []*vnet.App, classes []Class, opts Options) 
 // Columns the memory does not know stay nonbasic at lower bound; rows it
 // does not know keep their logical column basic — the lp defaults for
 // freshly added structure.
-func (m *master) warmBasis(vars, rows map[string]lp.VarStatus) *lp.Basis {
-	if len(vars) == 0 && len(rows) == 0 {
+func (m *master) warmBasis(vars, rows *warmLRU) *lp.Basis {
+	if vars.len() == 0 && rows.len() == 0 {
 		return nil
 	}
 	b := &lp.Basis{
@@ -499,12 +539,12 @@ func (m *master) warmBasis(vars, rows map[string]lp.VarStatus) *lp.Basis {
 		Rows: make([]lp.VarStatus, m.prob.NumRows()),
 	}
 	for j, key := range m.varKeys {
-		if st, ok := vars[key]; ok {
+		if st, ok := vars.get(key); ok {
 			b.Vars[j] = st
 		}
 	}
 	for i, key := range m.rowKeys {
-		if st, ok := rows[key]; ok {
+		if st, ok := rows.get(key); ok {
 			b.Rows[i] = st
 		} else {
 			b.Rows[i] = lp.StatusBasic
@@ -527,7 +567,12 @@ func (m *master) rowFor(e graph.ElementID) int {
 // addColumn inserts the embedding as a candidate for class ci; returns
 // false if an identical column already exists.
 func (m *master) addColumn(ci int, e *vnet.Embedding) bool {
-	es := embSignature(e)
+	return m.addColumnSig(ci, e, embSignature(e))
+}
+
+// addColumnSig is addColumn with the embedding signature precomputed
+// (the candidate pool memoizes signatures across pricing rounds).
+func (m *master) addColumnSig(ci int, e *vnet.Embedding, es string) bool {
 	sig := strconv.Itoa(ci) + "|" + es
 	if m.sigs[sig] {
 		return false
@@ -547,25 +592,28 @@ func (m *master) addColumn(ci int, e *vnet.Embedding) bool {
 	return true
 }
 
-// captureWarm stores the final basis of a solved master in the Solver's
-// signature-keyed memory for the next Build. Variable statuses are
-// stored sparsely (missing means nonbasic-at-lower, the default);
-// row statuses are stored for every row the master had, because an
-// absent row key defaults to logical-basic on replay.
+// captureWarm merges the final basis of a solved master into the
+// Solver's signature-keyed memory for later Builds. Variable statuses
+// are stored sparsely (missing means nonbasic-at-lower, the default) —
+// a variable back at its lower bound is deleted rather than stored, or
+// a stale non-lower status from an earlier Build would shadow it. Row
+// statuses are stored for every row the master had, because an absent
+// row key defaults to logical-basic on replay. Keys from masters this
+// Build did not touch survive until the LRU cap evicts them.
 func (s *Solver) captureWarm(m *master, sol *lp.Solution) {
 	b := sol.Basis()
 	if b == nil {
 		return
 	}
-	s.warmVars = make(map[string]lp.VarStatus, len(m.varKeys))
 	for j, key := range m.varKeys {
 		if st := b.Vars[j]; st != lp.StatusLower {
-			s.warmVars[key] = st
+			s.warmVars.put(key, st)
+		} else {
+			s.warmVars.delete(key)
 		}
 	}
-	s.warmRows = make(map[string]lp.VarStatus, len(m.rowKeys))
 	for i, key := range m.rowKeys {
-		s.warmRows[key] = b.Rows[i]
+		s.warmRows.put(key, b.Rows[i])
 	}
 	// Pool the solution support (basic or at-upper embedding columns)
 	// for the next Build's seed set. The pool is rebuilt per Build, so
@@ -643,12 +691,18 @@ func (m *master) seedColumns() error {
 	return nil
 }
 
-// price runs the Dantzig–Wolfe pricing round: for each class, find the
-// min-reduced-cost embedding under dual-adjusted element prices and add it
-// if it improves. Returns the number of columns added. The dual-adjusted
-// prices are written into the solver's pricing state in place; its path
-// cache invalidates (and its tree buffers are reused) only when link
-// duals actually moved.
+// price runs the Dantzig–Wolfe pricing round. For each class it first
+// batch-prices the Solver's pooled candidate embeddings against the
+// master duals — a flat dot product per candidate over its element
+// usage, all from the one dual vector the LP already BTRANed — and
+// feeds the top-k improving pooled columns to the master at once. Only
+// classes whose pool yields nothing improving pay for the exact oracle
+// (a Dijkstra-backed min-cost embed under dual-adjusted prices), so the
+// oracle keeps its role as the optimality certificate: a round returns
+// 0 only after every class's oracle found no improving column. Returns
+// the number of columns added. The dual-adjusted prices are written
+// into the solver's pricing state in place; its path cache invalidates
+// (and its tree buffers are reused) only when link duals actually moved.
 func (m *master) price(sol *lp.Solution) int {
 	s := m.solver
 	if cap(s.dualBuf) < m.g.NumElements() {
@@ -664,14 +718,66 @@ func (m *master) price(sol *lp.Solution) int {
 	s.priceBuf = embedder.AdjustedPricesInto(s.priceBuf, m.g, elemDual)
 	s.priceState.SetPrices(s.priceBuf)
 	oracle := s.priceOracle
+	usePool := !m.opts.DisableWarmStarts
 	const tol = 1e-6
 	added := 0
 	for ci, c := range m.classes {
+		sigma := sol.Dual[m.convRow[ci]]
+		if usePool {
+			// Batched pool pass: reduced cost of a pooled embedding is
+			//   d·(unitCost − Σ u.Amount·elemDual[u.Elem]) − σ
+			// — its true column cost minus the duals' valuation of its
+			// column, no substrate search involved.
+			var best [priceTopK]int
+			var bestRC [priceTopK]float64
+			nBest := 0
+			pool := s.candPool[classKey{c.App, c.Ingress}]
+			for pi := range pool {
+				e := pool[pi].e
+				adj := e.UnitCost()
+				for _, u := range e.UnitUse() {
+					adj -= u.Amount * elemDual[u.Elem]
+				}
+				rc := c.Demand*adj - sigma
+				if rc >= -tol {
+					continue
+				}
+				k := nBest
+				if k < priceTopK {
+					nBest++
+				} else if rc < bestRC[k-1] {
+					k--
+				} else {
+					continue
+				}
+				for ; k > 0 && rc < bestRC[k-1]; k-- {
+					best[k], bestRC[k] = best[k-1], bestRC[k-1]
+				}
+				best[k], bestRC[k] = pi, rc
+			}
+			poolAdded := 0
+			for k := 0; k < nBest; k++ {
+				if m.addColumnSig(ci, pool[best[k]].e, pool[best[k]].sig) {
+					poolAdded++
+				}
+			}
+			// Skip the oracle only when the pool actually delivered a
+			// new column: an improving pooled candidate the master
+			// already holds proves nothing about what else is out there.
+			if poolAdded > 0 {
+				counters.pricePoolHits.Add(1)
+				added += poolAdded
+				continue
+			}
+		}
+		counters.priceOracleCalls.Add(1)
 		e, price, ok := oracle.MinCostEmbed(m.apps[c.App], c.Ingress)
 		if !ok {
 			continue
 		}
-		sigma := sol.Dual[m.convRow[ci]]
+		if usePool {
+			s.poolAdd(classKey{c.App, c.Ingress}, e)
+		}
 		if c.Demand*price-sigma < -tol {
 			if m.addColumn(ci, e) {
 				added++
@@ -679,6 +785,24 @@ func (m *master) price(sol *lp.Solution) int {
 		}
 	}
 	return added
+}
+
+// poolAdd inserts an oracle-produced embedding into the class's
+// candidate pool, deduping by signature and evicting FIFO past the cap.
+func (s *Solver) poolAdd(key classKey, e *vnet.Embedding) {
+	sig := embSignature(e)
+	pool := s.candPool[key]
+	for i := range pool {
+		if pool[i].sig == sig {
+			return
+		}
+	}
+	pool = append(pool, poolCand{e: e, sig: sig})
+	if n := len(pool) - candPoolPerClass; n > 0 {
+		pool = append(pool[:0], pool[n:]...)
+		counters.poolEvictions.Add(int64(n))
+	}
+	s.candPool[key] = pool
 }
 
 // extract reads the optimal basis into per-class plans.

@@ -21,21 +21,41 @@ type CountersSnapshot struct {
 	// WarmHits counts warm attempts the LP completed without falling
 	// back to a cold solve.
 	WarmHits int64
+	// WarmEvictions counts entries the LRU cap dropped from the
+	// signature-keyed basis memory.
+	WarmEvictions int64
+	// PoolEvictions counts candidate embeddings the per-class FIFO cap
+	// dropped from the pricing pool.
+	PoolEvictions int64
+	// PricePoolHits counts (class, round) pricing decisions served by
+	// the batched candidate pool without an oracle run.
+	PricePoolHits int64
+	// PriceOracleCalls counts exact min-cost-embed oracle runs in
+	// pricing rounds — the expensive path the pool exists to avoid.
+	PriceOracleCalls int64
 }
 
 var counters struct {
-	builds       atomic.Int64
-	masterSolves atomic.Int64
-	warmAttempts atomic.Int64
-	warmHits     atomic.Int64
+	builds           atomic.Int64
+	masterSolves     atomic.Int64
+	warmAttempts     atomic.Int64
+	warmHits         atomic.Int64
+	warmEvictions    atomic.Int64
+	poolEvictions    atomic.Int64
+	pricePoolHits    atomic.Int64
+	priceOracleCalls atomic.Int64
 }
 
 // Stats snapshots the package-wide build counters.
 func Stats() CountersSnapshot {
 	return CountersSnapshot{
-		Builds:       counters.builds.Load(),
-		MasterSolves: counters.masterSolves.Load(),
-		WarmAttempts: counters.warmAttempts.Load(),
-		WarmHits:     counters.warmHits.Load(),
+		Builds:           counters.builds.Load(),
+		MasterSolves:     counters.masterSolves.Load(),
+		WarmAttempts:     counters.warmAttempts.Load(),
+		WarmHits:         counters.warmHits.Load(),
+		WarmEvictions:    counters.warmEvictions.Load(),
+		PoolEvictions:    counters.poolEvictions.Load(),
+		PricePoolHits:    counters.pricePoolHits.Load(),
+		PriceOracleCalls: counters.priceOracleCalls.Load(),
 	}
 }

@@ -41,9 +41,12 @@ import (
 //	vne_ratelimit_tokens                 gauge   {scope}    (limiter enabled)
 //	vne_lp_solves_total                  counter {start}
 //	vne_lp_pivots_total                  counter
+//	vne_lp_pivots_by_rule_total          counter {rule}
+//	vne_lp_pricing_scans_total           counter
 //	vne_lp_refactorizations_total        counter
 //	vne_plan_builds_total                counter
 //	vne_plan_warm_starts_total           counter {outcome}
+//	vne_plan_pricing_total               counter {path}
 type serverMetrics struct {
 	reg *obs.Registry
 
@@ -181,6 +184,16 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 	reg.CounterFunc("vne_lp_pivots_total",
 		"Total simplex pivots across all LP solves.",
 		func() float64 { return float64(lp.Stats().Pivots) })
+	pivotsBy := reg.CounterFuncVec("vne_lp_pivots_by_rule_total",
+		"Simplex pivots by the pricing rule that chose the entering column "+
+			"(bland is the anti-cycling fallback under either rule).", "rule")
+	pivotsBy.With(func() float64 { return float64(lp.Stats().PivotsDevex) }, "devex")
+	pivotsBy.With(func() float64 { return float64(lp.Stats().PivotsDantzig) }, "dantzig")
+	pivotsBy.With(func() float64 { return float64(lp.Stats().PivotsBland) }, "bland")
+	reg.CounterFunc("vne_lp_pricing_scans_total",
+		"Nonbasic columns examined by simplex pricing — the scan work "+
+			"partial pricing exists to cut.",
+		func() float64 { return float64(lp.Stats().PricingScans) })
 	reg.CounterFunc("vne_lp_refactorizations_total",
 		"Total basis LU refactorizations across all LP solves.",
 		func() float64 { return float64(lp.Stats().Refactorizations) })
@@ -194,6 +207,11 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 		st := plan.Stats()
 		return float64(st.WarmAttempts - st.WarmHits)
 	}, "miss")
+	price := reg.CounterFuncVec("vne_plan_pricing_total",
+		"Dantzig–Wolfe pricing decisions by path: pool = served by the "+
+			"batched candidate pool, oracle = exact min-cost embed.", "path")
+	price.With(func() float64 { return float64(plan.Stats().PricePoolHits) }, "pool")
+	price.With(func() float64 { return float64(plan.Stats().PriceOracleCalls) }, "oracle")
 
 	return m
 }

@@ -147,6 +147,10 @@ type StatsResponse struct {
 		WarmAttempts     int64 `json:"warm_attempts"`
 		WarmHits         int64 `json:"warm_hits"`
 		Pivots           int64 `json:"pivots"`
+		PivotsDevex      int64 `json:"pivots_devex"`
+		PivotsDantzig    int64 `json:"pivots_dantzig"`
+		PivotsBland      int64 `json:"pivots_bland"`
+		PricingScans     int64 `json:"pricing_scans"`
 		Refactorizations int64 `json:"refactorizations"`
 		PlanBuilds       int64 `json:"plan_builds"`
 	} `json:"lp"`
@@ -197,6 +201,10 @@ func (s *Server) Stats() StatsResponse {
 	out.LP.WarmAttempts = lps.WarmAttempts
 	out.LP.WarmHits = lps.WarmHits
 	out.LP.Pivots = lps.Pivots
+	out.LP.PivotsDevex = lps.PivotsDevex
+	out.LP.PivotsDantzig = lps.PivotsDantzig
+	out.LP.PivotsBland = lps.PivotsBland
+	out.LP.PricingScans = lps.PricingScans
 	out.LP.Refactorizations = lps.Refactorizations
 	out.LP.PlanBuilds = plan.Stats().Builds
 	return out
