@@ -19,15 +19,28 @@
 // of the shard queues (429 + Retry-After); -debug-addr serves
 // net/http/pprof on a separate listener, off by default.
 //
+// Replanning (olive only): -replan keeps a rolling request history
+// (-replan-history requests) and rebuilds the serving plan from it —
+// either on the -replan-interval cadence (real-time mode) or on demand
+// via POST /v1/admin/replan (the only trigger in deterministic mode, so
+// replay streams stay reproducible). Rebuilt plans hot-swap atomically:
+// every shard adopts the new generation between two serialized
+// decisions, and no request is ever dropped by a swap. GET /v1/plan
+// reports the published generation and per-shard adoption.
+//
 // Client utilities (no server started):
 //
 //	vnesimd -gen-stream 200 -topo iris -seed 7 > stream.json
+//	vnesimd -gen-stream 400 -drift -topo iris -seed 7 > drift.json
 //	vnesimd -replay stream.json -addr http://localhost:8080
 //
 // -gen-stream writes a canned request stream drawn from the same MMPP
-// workload model the simulator uses; -replay posts a stream sequentially
-// and prints one canonical decision line per request, so two runs against
-// a deterministic single-shard server diff byte-identical (this is what
+// workload model the simulator uses; with -drift the second half of the
+// stream redraws every ingress uniformly — a traffic-pattern shift that
+// makes the construction plan stale, which is what the replanning e2e
+// exercises. -replay posts a stream sequentially and prints one
+// canonical decision line per request, so two runs against a
+// deterministic single-shard server diff byte-identical (this is what
 // CI asserts).
 package main
 
@@ -78,7 +91,12 @@ func run(args []string) error {
 	histSlots := fs.Int("hist-slots", 200, "plan-history length in slots (olive)")
 	lambda := fs.Float64("lambda", 3, "plan-history arrivals per edge node per slot")
 	genStream := fs.Int("gen-stream", 0, "generate a canned request stream of this many requests to stdout and exit")
+	drift := fs.Bool("drift", false, "with -gen-stream: redraw every ingress in the second half (traffic drift)")
 	replay := fs.String("replay", "", "post this stream file to -addr sequentially, print decision lines, exit")
+	replan := fs.Bool("replan", false, "enable adaptive replanning (olive): rolling history + POST /v1/admin/replan")
+	replanInterval := fs.Duration("replan-interval", 0, "replan cadence in real-time mode (0 = admin-triggered only; implies -replan)")
+	replanHistory := fs.Int("replan-history", 4096, "rolling request-history capacity per shard for replanning")
+	replanMin := fs.Int("replan-min", 64, "minimum history size before a replan trigger builds (below: 409)")
 	rps := fs.Float64("rps", 0, "global admission rate limit in requests/second (0 = unlimited)")
 	burst := fs.Float64("burst", 0, "global rate-limit burst (default max(rps, 1))")
 	clientRPS := fs.Float64("client-rps", 0, "per-client admission rate limit (X-Client-ID keyed; 0 = unlimited)")
@@ -108,24 +126,33 @@ func run(args []string) error {
 	apps := vnet.DefaultMix(vnet.DefaultParams(), rng)
 
 	if *genStream > 0 {
-		return runGenStream(os.Stdout, g, len(apps), *genStream, *util, *lambda, *seed)
+		return runGenStream(os.Stdout, g, len(apps), *genStream, *util, *lambda, *seed, *drift)
 	}
 
 	opts := serve.Options{
 		Shards:        *shards,
-		QueueDepth:    *queue,
 		Algorithm:     core.Algorithm(algoName(*algo)),
 		SlotDuration:  *slot,
 		Deterministic: *deterministic,
-		RateLimit: serve.RateLimit{
-			RPS:            *rps,
-			Burst:          *burst,
-			PerClientRPS:   *clientRPS,
-			PerClientBurst: *clientBurst,
+		Limits: serve.Limits{
+			QueueDepth: *queue,
+			RateLimit: serve.RateLimit{
+				RPS:            *rps,
+				Burst:          *burst,
+				PerClientRPS:   *clientRPS,
+				PerClientBurst: *clientBurst,
+			},
+		},
+		Replan: serve.Replan{
+			Enabled:      *replan || *replanInterval > 0,
+			Interval:     *replanInterval,
+			HistoryDepth: *replanHistory,
+			MinHistory:   *replanMin,
+			Seed:         *seed,
 		},
 	}
 	if *logRequests {
-		opts.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		opts.Observability.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	if opts.Algorithm == core.AlgoOLIVE {
 		log.Printf("building PLAN-VNE plan: %s hist=%d slots λ=%g util=%g", tn, *histSlots, *lambda, *util)
@@ -228,8 +255,10 @@ func buildPlan(g *graph.Graph, apps []*vnet.App, util float64, histSlots int, la
 }
 
 // runGenStream emits a canned request stream drawn from the MMPP model
-// (its own rng stream, so it never replays the plan history).
-func runGenStream(w io.Writer, g *graph.Graph, numApps, n int, util, lambda float64, seed uint64) error {
+// (its own rng stream, so it never replays the plan history). With drift,
+// every ingress from the stream's halfway slot on is redrawn uniformly —
+// the traffic shift the replanning e2e recovers from.
+func runGenStream(w io.Writer, g *graph.Graph, numApps, n int, util, lambda float64, seed uint64, drift bool) error {
 	// Size the trace long enough to hold n requests: λ·edgeNodes per slot
 	// in expectation, padded 2×.
 	perSlot := lambda * float64(len(g.EdgeNodes()))
@@ -241,6 +270,10 @@ func runGenStream(w io.Writer, g *graph.Graph, numApps, n int, util, lambda floa
 	}
 	if len(tr.Requests) < n {
 		return fmt.Errorf("generated only %d requests, want %d (raise -lambda?)", len(tr.Requests), n)
+	}
+	if drift {
+		tr = workload.ShuffleIngressFrom(tr, g, tr.Requests[n/2].Arrive,
+			rand.New(rand.NewPCG(seed, 0xd21f)))
 	}
 	reqs := make([]serve.StreamRequest, n)
 	for i, r := range tr.Requests[:n] {

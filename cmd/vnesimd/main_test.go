@@ -27,7 +27,7 @@ func TestAlgoName(t *testing.T) {
 func TestGenStreamRoundTrip(t *testing.T) {
 	g := topo.MustBuild(topo.Iris, 1)
 	var buf bytes.Buffer
-	if err := runGenStream(&buf, g, 4, 50, 1.0, 3, 7); err != nil {
+	if err := runGenStream(&buf, g, 4, 50, 1.0, 3, 7, false); err != nil {
 		t.Fatal(err)
 	}
 	encoded := buf.String()
@@ -47,7 +47,7 @@ func TestGenStreamRoundTrip(t *testing.T) {
 	}
 	// Same seed, byte-identical stream.
 	var buf2 bytes.Buffer
-	if err := runGenStream(&buf2, g, 4, 50, 1.0, 3, 7); err != nil {
+	if err := runGenStream(&buf2, g, 4, 50, 1.0, 3, 7, false); err != nil {
 		t.Fatal(err)
 	}
 	if buf2.String() != encoded {

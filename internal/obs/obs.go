@@ -177,12 +177,28 @@ func (r *Registry) register(name, help, kind string, funcBacked bool, labelNames
 // seriesFor returns (creating on first use) the series for the given
 // label values.
 func (f *family) seriesFor(vals []string) *series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seriesForLocked(vals)
+}
+
+// bindFn creates (or finds) the series for vals and binds fn to it, in
+// one critical section. Series can be registered while the registry is
+// being scraped (the serving layer adds per-shard series on elastic
+// resize), and a scrape snapshots a family's series under f.mu — binding
+// inside the same section means any snapshot that sees the series also
+// sees its fn. A series' fn is bound at most once.
+func (f *family) bindFn(vals []string, fn func() float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seriesForLocked(vals).fn = fn
+}
+
+func (f *family) seriesForLocked(vals []string) *series {
 	if len(vals) != len(f.labelNames) {
 		panic(fmt.Sprintf("obs: family %q wants %d label values, got %d", f.name, len(f.labelNames), len(vals)))
 	}
 	key := strings.Join(vals, "\x00")
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	if s, ok := f.series[key]; ok {
 		return s
 	}
@@ -261,14 +277,14 @@ func (v *HistogramVec) With(labelVals ...string) *Histogram {
 // fn must be safe to call from any goroutine.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f := r.register(name, help, kindGauge, true, nil, nil)
-	f.seriesFor(nil).fn = fn
+	f.bindFn(nil, fn)
 }
 
 // CounterFunc registers a counter whose value is read at scrape time
 // from an external monotonic source (e.g. package-level solve counters).
 func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	f := r.register(name, help, kindCounter, true, nil, nil)
-	f.seriesFor(nil).fn = fn
+	f.bindFn(nil, fn)
 }
 
 // GaugeFuncVec is a labeled family of scrape-time gauges.
@@ -281,7 +297,7 @@ func (r *Registry) GaugeFuncVec(name, help string, labelNames ...string) *GaugeF
 
 // With binds fn as the series for the given label values.
 func (v *GaugeFuncVec) With(fn func() float64, labelVals ...string) {
-	v.f.seriesFor(labelVals).fn = fn
+	v.f.bindFn(labelVals, fn)
 }
 
 // CounterFuncVec is a labeled family of scrape-time counters.
@@ -294,7 +310,7 @@ func (r *Registry) CounterFuncVec(name, help string, labelNames ...string) *Coun
 
 // With binds fn as the series for the given label values.
 func (v *CounterFuncVec) With(fn func() float64, labelVals ...string) {
-	v.f.seriesFor(labelVals).fn = fn
+	v.f.bindFn(labelVals, fn)
 }
 
 // fmtFloat renders a sample value: shortest round-trip representation,

@@ -457,11 +457,19 @@ func (s *Solver) Build(classes []Class, opts Options) (*Plan, error) {
 
 // BuildFromHistory aggregates hist and builds the plan in one call.
 func BuildFromHistory(g *graph.Graph, apps []*vnet.App, hist *workload.Trace, opts Options, rng *rand.Rand) (*Plan, error) {
-	classes, err := Aggregate(hist, len(apps), opts.Alpha, opts.BootstrapB, rng)
+	return NewSolver(g, apps).BuildFromHistory(hist, opts, rng)
+}
+
+// BuildFromHistory aggregates hist and builds the plan on this solver,
+// so successive rebuilds over rolling histories — the serving layer's
+// online replanner — reuse the warm basis memory and candidate pool the
+// way repeated Build calls do.
+func (s *Solver) BuildFromHistory(hist *workload.Trace, opts Options, rng *rand.Rand) (*Plan, error) {
+	classes, err := Aggregate(hist, len(s.apps), opts.Alpha, opts.BootstrapB, rng)
 	if err != nil {
 		return nil, err
 	}
-	return Build(g, apps, classes, opts)
+	return s.Build(classes, opts)
 }
 
 // master is the column-generation master problem.

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -58,12 +59,37 @@ type ReleaseResponse struct {
 	Released bool `json:"released"`
 }
 
-// errorResponse is the JSON error envelope. RetryAfterMS accompanies
-// rate-limit rejections (mirroring the Retry-After header, at
-// millisecond resolution).
-type errorResponse struct {
-	Error        string `json:"error"`
+// Machine-readable error codes of the v1 error envelope. Every non-2xx
+// response of a /v1/* route carries exactly one of these.
+const (
+	ErrCodeBadRequest          = "bad_request"          // 400: malformed body or argument
+	ErrCodeNotFound            = "not_found"            // 404: no such embedding
+	ErrCodeRateLimited         = "rate_limited"         // 429: admission control refused
+	ErrCodeQueueFull           = "queue_full"           // 429: shard queue backpressure
+	ErrCodeReplanInProgress    = "replan_in_progress"   // 409: a rebuild is running
+	ErrCodeReplanDisabled      = "replan_disabled"      // 409: server built without Replan
+	ErrCodeInsufficientHistory = "insufficient_history" // 409: history below MinHistory
+	ErrCodeReplanFailed        = "replan_failed"        // 500: rebuild errored
+	ErrCodeResizeInProgress    = "resize_in_progress"   // 409: another resize is running
+	ErrCodeDraining            = "draining"             // 503: server shutting down
+	ErrCodeEngine              = "engine_error"         // 500: engine rejected the op
+)
+
+// ErrorBody is the payload of the v1 error envelope: a stable
+// machine-readable code, a human-readable message, and — on 429s — the
+// Retry-After hint at millisecond resolution.
+type ErrorBody struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// errorResponse is the JSON error envelope every non-2xx /v1/* response
+// (and /healthz while draining) is normalized onto:
+//
+//	{"error": {"code": "...", "message": "...", "retry_after_ms": ...}}
+type errorResponse struct {
+	Error ErrorBody `json:"error"`
 }
 
 // Handler returns the server's HTTP API:
@@ -71,6 +97,9 @@ type errorResponse struct {
 //	POST   /v1/embed            submit an embedding request
 //	DELETE /v1/embeddings/{id}  release an embedding before it expires
 //	GET    /v1/stats            service statistics
+//	GET    /v1/plan             plan generation and provenance
+//	POST   /v1/admin/replan     trigger a plan rebuild (409 when busy)
+//	POST   /v1/admin/resize     grow/shrink the routable shard set
 //	GET    /metrics             Prometheus text exposition
 //	GET    /healthz             liveness (503 while draining)
 //
@@ -81,6 +110,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/embed", s.handleEmbed)
 	mux.HandleFunc("DELETE /v1/embeddings/{id}", s.handleRelease)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/plan", s.handlePlan)
+	mux.HandleFunc("POST /v1/admin/replan", s.handleReplan)
+	mux.HandleFunc("POST /v1/admin/resize", s.handleResize)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	if s.met != nil {
 		mux.Handle("GET /metrics", s.met.reg.Handler())
@@ -94,8 +126,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+// writeError emits the v1 error envelope.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: ErrorBody{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// writeErrorRetry is writeError plus the Retry-After header (seconds,
+// rounded up) and the retry_after_ms body field.
+func writeErrorRetry(w http.ResponseWriter, status int, code string, retry time.Duration, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)+1))
+	writeJSON(w, status, errorResponse{Error: ErrorBody{
+		Code:         code,
+		Message:      fmt.Sprintf(format, args...),
+		RetryAfterMS: retry.Milliseconds(),
+	}})
 }
 
 // admit registers an in-flight request unless the server is draining.
@@ -114,7 +161,7 @@ func (s *Server) admit() bool {
 func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	if !s.admit() {
 		s.shedDraining.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		writeError(w, http.StatusServiceUnavailable, ErrCodeDraining, "draining")
 		return
 	}
 	defer s.inflight.Done()
@@ -131,11 +178,8 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 			default:
 				s.shedGlobal.Add(1)
 			}
-			w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)+1))
-			writeJSON(w, http.StatusTooManyRequests, errorResponse{
-				Error:        fmt.Sprintf("rate limited (%s)", reason),
-				RetryAfterMS: retry.Milliseconds(),
-			})
+			writeErrorRetry(w, http.StatusTooManyRequests, ErrCodeRateLimited, retry,
+				"rate limited (%s)", reason)
 			return
 		}
 	}
@@ -145,34 +189,34 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	defer bodyPool.Put(buf)
 	var er EmbedRequest
 	if _, err := buf.ReadFrom(r.Body); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	if err := json.Unmarshal(buf.Bytes(), &er); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	if er.App < 0 || er.App >= len(s.apps) {
-		writeError(w, http.StatusBadRequest, "app %d outside [0,%d)", er.App, len(s.apps))
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "app %d outside [0,%d)", er.App, len(s.apps))
 		return
 	}
 	if er.Ingress < 0 || er.Ingress >= s.g.NumNodes() {
-		writeError(w, http.StatusBadRequest, "ingress %d outside [0,%d)", er.Ingress, s.g.NumNodes())
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "ingress %d outside [0,%d)", er.Ingress, s.g.NumNodes())
 		return
 	}
 	if er.Demand <= 0 {
-		writeError(w, http.StatusBadRequest, "demand %g must be positive", er.Demand)
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "demand %g must be positive", er.Demand)
 		return
 	}
 	if er.Duration < 1 {
-		writeError(w, http.StatusBadRequest, "duration %d must be ≥ 1", er.Duration)
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "duration %d must be ≥ 1", er.Duration)
 		return
 	}
 	arrive := er.Arrive
 	if !s.opts.Deterministic {
 		arrive = s.clockSlot()
 	} else if arrive < 0 {
-		writeError(w, http.StatusBadRequest, "arrive %d must be ≥ 0", arrive)
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "arrive %d must be ≥ 0", arrive)
 		return
 	}
 
@@ -197,13 +241,13 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	case sh.queue <- o:
 	default:
 		sh.shed.Add(1)
-		writeError(w, http.StatusTooManyRequests, "shard %d queue full (%d)", sh.idx, cap(sh.queue))
+		writeError(w, http.StatusTooManyRequests, ErrCodeQueueFull, "shard %d queue full (%d)", sh.idx, cap(sh.queue))
 		return
 	}
 	res := <-o.reply
 	lat := time.Since(t0)
 	if res.err != nil {
-		writeError(w, http.StatusInternalServerError, "engine: %v", res.err)
+		writeError(w, http.StatusInternalServerError, ErrCodeEngine, "engine: %v", res.err)
 		return
 	}
 	s.lat.record(lat)
@@ -229,32 +273,33 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	if !s.admit() {
 		s.shedDraining.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		writeError(w, http.StatusServiceUnavailable, ErrCodeDraining, "draining")
 		return
 	}
 	defer s.inflight.Done()
 
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad id: %v", err)
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "bad id: %v", err)
 		return
 	}
 	// The ID does not encode its shard; releases probe the shards in
-	// order, stopping at the owner (IDs are globally unique, so at most
-	// one shard holds the embedding). Sends honor the same backpressure
-	// as embeds — a full queue answers 429 instead of blocking the
-	// handler behind a busy shard; the release ops already executed were
-	// no-ops on non-owning shards, so retrying is safe.
+	// order — retired shards included, since they keep serving the
+	// embeddings they own — stopping at the owner (IDs are globally
+	// unique, so at most one shard holds the embedding). Sends honor the
+	// same backpressure as embeds — a full queue answers 429 instead of
+	// blocking the handler behind a busy shard; the release ops already
+	// executed were no-ops on non-owning shards, so retrying is safe.
 	released := false
 	reply := takeReply()
 	defer putReply(reply)
-	for _, sh := range s.shards {
+	for _, sh := range s.allShards() {
 		o := op{kind: opRelease, id: id, reply: reply}
 		select {
 		case sh.queue <- o:
 		default:
 			sh.shed.Add(1)
-			writeError(w, http.StatusTooManyRequests, "shard %d queue full (%d)", sh.idx, cap(sh.queue))
+			writeError(w, http.StatusTooManyRequests, ErrCodeQueueFull, "shard %d queue full (%d)", sh.idx, cap(sh.queue))
 			return
 		}
 		if res := <-o.reply; res.released {
@@ -263,15 +308,92 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !released {
-		writeJSON(w, http.StatusNotFound, ReleaseResponse{ID: id})
+		writeError(w, http.StatusNotFound, ErrCodeNotFound, "no active embedding %d", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, ReleaseResponse{ID: id, Released: true})
 }
 
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.PlanStatus())
+}
+
+// ReplanResponse is the body of a successful POST /v1/admin/replan.
+type ReplanResponse struct {
+	// Generation is the newly published plan generation.
+	Generation int64 `json:"generation"`
+	// Classes and HistoryRequests describe the rebuild's input/output.
+	Classes         int64 `json:"classes"`
+	HistoryRequests int64 `json:"history_requests"`
+}
+
+func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
+	if !s.admit() {
+		s.shedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, ErrCodeDraining, "draining")
+		return
+	}
+	defer s.inflight.Done()
+
+	gen, err := s.TriggerReplan()
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrReplanDisabled):
+		writeError(w, http.StatusConflict, ErrCodeReplanDisabled, "%v", err)
+		return
+	case errors.Is(err, ErrReplanBusy):
+		writeError(w, http.StatusConflict, ErrCodeReplanInProgress, "%v", err)
+		return
+	case errors.Is(err, ErrInsufficientHistory):
+		writeError(w, http.StatusConflict, ErrCodeInsufficientHistory, "%v", err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, ErrCodeReplanFailed, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReplanResponse{
+		Generation:      gen,
+		Classes:         s.replan.lastClasses.Load(),
+		HistoryRequests: s.replan.lastHistory.Load(),
+	})
+}
+
+// resizeRequest is the body of POST /v1/admin/resize.
+type resizeRequest struct {
+	Shards int `json:"shards"`
+}
+
+func (s *Server) handleResize(w http.ResponseWriter, r *http.Request) {
+	// No admit() here: Resize itself registers with the drain protocol.
+	var rr resizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&rr); err != nil {
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "bad request body: %v", err)
+		return
+	}
+	if rr.Shards <= 0 {
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "shards %d must be ≥ 1", rr.Shards)
+		return
+	}
+	res, err := s.Resize(rr.Shards)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrDraining):
+		s.shedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, ErrCodeDraining, "draining")
+		return
+	case errors.Is(err, ErrResizeBusy):
+		writeError(w, http.StatusConflict, ErrCodeResizeInProgress, "%v", err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, ErrCodeEngine, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		writeError(w, http.StatusServiceUnavailable, ErrCodeDraining, "draining")
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

@@ -162,8 +162,11 @@ func TestRateLimit429Shape(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
 		t.Fatal(err)
 	}
-	if er.Error == "" || er.RetryAfterMS <= 0 {
-		t.Fatalf("429 body = %+v, want an error and a positive retry_after_ms", er)
+	if er.Error.Code != ErrCodeRateLimited {
+		t.Fatalf("429 code = %q, want %q", er.Error.Code, ErrCodeRateLimited)
+	}
+	if er.Error.Message == "" || er.Error.RetryAfterMS <= 0 {
+		t.Fatalf("429 body = %+v, want a message and a positive retry_after_ms", er)
 	}
 
 	st := s.Stats()

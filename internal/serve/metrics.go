@@ -35,9 +35,14 @@ import (
 //	vne_shard_queue_capacity             gauge   {shard}
 //	vne_shard_active_embeddings          gauge   {shard}
 //	vne_shard_utilization                gauge   {shard}
+//	vne_shards_routable                  gauge
 //	vne_preemptions_total                counter
 //	vne_releases_total                   counter
 //	vne_revenue_total                    counter
+//	vne_replan_generation                gauge
+//	vne_replan_rebuilds_total            counter {outcome}
+//	vne_replan_swap_duration_seconds     histogram   (publish → shard adoption)
+//	vne_replan_history_depth             gauge
 //	vne_ratelimit_tokens                 gauge   {scope}    (limiter enabled)
 //	vne_lp_solves_total                  counter {start}
 //	vne_lp_pivots_total                  counter
@@ -56,6 +61,15 @@ type serverMetrics struct {
 	reqDur    *obs.Histogram
 	queueWait *obs.Histogram
 	solveDur  *obs.Histogram
+	swapDur   *obs.Histogram
+
+	// Per-shard label-vec handles, kept so shards built after construction
+	// (elastic grows) register the same series families.
+	dec    *obs.CounterFuncVec
+	depth  *obs.GaugeFuncVec
+	capa   *obs.GaugeVec
+	active *obs.GaugeFuncVec
+	util   *obs.GaugeFuncVec
 }
 
 // shed reasons that are not limiter verdicts (those are limitGlobal and
@@ -71,6 +85,23 @@ const (
 type shardMetrics struct {
 	queueWait *obs.Histogram
 	solveDur  *obs.Histogram
+	swapDur   *obs.Histogram
+}
+
+// registerShard wires one shard into the per-shard metric families and
+// hands it the shared instruments. Called at construction for the initial
+// pool and again for every shard an elastic grow builds; series creation
+// is concurrency-safe in obs, so a scrape racing a grow sees either the
+// old or the new shard set, never a torn one.
+func (m *serverMetrics) registerShard(sh *shard) {
+	label := strconv.Itoa(sh.idx)
+	m.dec.With(func() float64 { return float64(sh.accepted.Load()) }, label, "accepted")
+	m.dec.With(func() float64 { return float64(sh.rejected.Load()) }, label, "rejected")
+	m.depth.With(func() float64 { return float64(len(sh.queue)) }, label)
+	m.capa.With(label).Set(float64(cap(sh.queue)))
+	m.active.With(func() float64 { return float64(sh.active.Load()) }, label)
+	m.util.With(func() float64 { return sh.utilization() }, label)
+	sh.met = &shardMetrics{queueWait: m.queueWait, solveDur: m.solveDur, swapDur: m.swapDur}
 }
 
 // newServerMetrics registers every family on reg and wires the
@@ -86,7 +117,7 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 	reg.GaugeVec("vne_build_info",
 		"Constant 1, labeled with the server configuration.",
 		"algorithm", "deterministic", "shards").
-		With(string(s.opts.Algorithm), det, strconv.Itoa(len(s.shards))).Set(1)
+		With(string(s.opts.Algorithm), det, strconv.Itoa(s.opts.Shards)).Set(1)
 	reg.GaugeFunc("vne_uptime_seconds",
 		"Seconds since the server was constructed.",
 		func() float64 { return s.uptime().Seconds() })
@@ -98,27 +129,20 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 		"End-to-end HTTP handler latency by route pattern.",
 		obs.LatencyBuckets(), "path")
 
-	dec := reg.CounterFuncVec("vne_decisions_total",
+	m.dec = reg.CounterFuncVec("vne_decisions_total",
 		"Embedding decisions by shard and outcome.",
 		"shard", "outcome")
-	depth := reg.GaugeFuncVec("vne_shard_queue_depth",
+	m.depth = reg.GaugeFuncVec("vne_shard_queue_depth",
 		"Requests currently queued per shard.", "shard")
-	capa := reg.GaugeVec("vne_shard_queue_capacity",
+	m.capa = reg.GaugeVec("vne_shard_queue_capacity",
 		"Bounded queue capacity per shard.", "shard")
-	active := reg.GaugeFuncVec("vne_shard_active_embeddings",
+	m.active = reg.GaugeFuncVec("vne_shard_active_embeddings",
 		"Live embeddings per shard.", "shard")
-	util := reg.GaugeFuncVec("vne_shard_utilization",
+	m.util = reg.GaugeFuncVec("vne_shard_utilization",
 		"Allocated fraction of the shard's capacity slice.", "shard")
-	for _, sh := range s.shards {
-		sh := sh
-		label := strconv.Itoa(sh.idx)
-		dec.With(func() float64 { return float64(sh.accepted.Load()) }, label, "accepted")
-		dec.With(func() float64 { return float64(sh.rejected.Load()) }, label, "rejected")
-		depth.With(func() float64 { return float64(len(sh.queue)) }, label)
-		capa.With(label).Set(float64(cap(sh.queue)))
-		active.With(func() float64 { return float64(sh.active.Load()) }, label)
-		util.With(func() float64 { return sh.utilization() }, label)
-	}
+	reg.GaugeFunc("vne_shards_routable",
+		"Shards currently in the routing table (retired shards excluded).",
+		func() float64 { return float64(len(s.routeShards())) })
 
 	// All four shed reasons are registered up front, so a scrape shows
 	// the full shape (at zero) before the first shed.
@@ -139,15 +163,18 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 	m.solveDur = reg.Histogram("vne_solve_duration_seconds",
 		"Engine solve time alone, excluding queueing and HTTP.",
 		obs.LatencyBuckets())
-	for _, sh := range s.shards {
-		sh.met = &shardMetrics{queueWait: m.queueWait, solveDur: m.solveDur}
+	m.swapDur = reg.Histogram("vne_replan_swap_duration_seconds",
+		"Plan hot-swap latency: generation publish to shard adoption.",
+		obs.LatencyBuckets())
+	for _, sh := range s.allShards() {
+		m.registerShard(sh)
 	}
 
 	reg.CounterFunc("vne_preemptions_total",
 		"Embeddings evicted to make room for arriving requests.",
 		func() float64 {
 			var t int64
-			for _, sh := range s.shards {
+			for _, sh := range s.allShards() {
 				t += sh.preempted.Load()
 			}
 			return float64(t)
@@ -156,7 +183,7 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 		"Embeddings released early via DELETE /v1/embeddings/{id}.",
 		func() float64 {
 			var t int64
-			for _, sh := range s.shards {
+			for _, sh := range s.allShards() {
 				t += sh.released.Load()
 			}
 			return float64(t)
@@ -164,6 +191,38 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 	reg.CounterFunc("vne_revenue_total",
 		"Sum of demand times duration over accepted requests.",
 		s.readRevenue)
+
+	// Replan families register unconditionally (reading 0 with replanning
+	// off), so dashboards and the vneload -require check see a stable
+	// catalog on every configuration.
+	reg.GaugeFunc("vne_replan_generation",
+		"Published plan generation (0 = construction plan).",
+		func() float64 { return float64(s.planGen.Load()) })
+	reg.GaugeFunc("vne_replan_history_depth",
+		"Requests currently retained in the rolling replan history.",
+		func() float64 { return float64(s.historyDepth()) })
+	rebuilds := reg.CounterFuncVec("vne_replan_rebuilds_total",
+		"Replan triggers by outcome: ok published a generation, failed "+
+			"errored in the solver, skipped lacked history.",
+		"outcome")
+	rebuilds.With(func() float64 {
+		if s.replan == nil {
+			return 0
+		}
+		return float64(s.replan.rebuilds.Load())
+	}, "ok")
+	rebuilds.With(func() float64 {
+		if s.replan == nil {
+			return 0
+		}
+		return float64(s.replan.failed.Load())
+	}, "failed")
+	rebuilds.With(func() float64 {
+		if s.replan == nil {
+			return 0
+		}
+		return float64(s.replan.skipped.Load())
+	}, "skipped")
 
 	if s.limiter != nil {
 		reg.GaugeFuncVec("vne_ratelimit_tokens",

@@ -18,7 +18,9 @@
 // admissions cannot jointly oversubscribe a physical element. This trades
 // packing quality for throughput — a request one shard rejects might have
 // fit in another shard's slice — and is the documented cost of scaling;
-// -shards 1 is exact.
+// -shards 1 is exact. The partition is elastic: Resize grows or shrinks
+// the routable shard set at runtime, re-partitioning free capacity
+// through serialized harvest/deposit operations (see resize.go).
 //
 // Time is slotted, like the simulator. In real-time mode a per-shard
 // departure timer maps wall clock to slots (Options.SlotDuration) and
@@ -27,6 +29,12 @@
 // only through the Arrive field of the requests themselves, so the
 // accept/reject sequence for a given request stream is a pure function of
 // the stream — byte-reproducible across runs, which is what CI asserts.
+//
+// Serving with OLIVE can additionally replan online (Options.Replan): the
+// shards feed a rolling request history, a background rebuild aggregates
+// it into fresh plan classes off the request path, and the new plan is
+// hot-swapped generation-by-generation without dropping a request (see
+// replan.go).
 package serve
 
 import (
@@ -48,19 +56,77 @@ import (
 	"github.com/olive-vne/olive/internal/vnet"
 )
 
+// Limits groups the admission-control knobs: how much work the server
+// queues and how much it lets in.
+type Limits struct {
+	// QueueDepth bounds each shard's request queue (default 256). A full
+	// queue answers 429.
+	QueueDepth int
+	// RateLimit configures admission token buckets in front of the shard
+	// queues (see limit.go). The zero value disables limiting. The
+	// limiter consults the wall clock, so enabling it in deterministic
+	// mode makes admission — though never a post-admission decision —
+	// timing-dependent.
+	RateLimit RateLimit
+}
+
+// Observability groups the instrumentation wiring.
+type Observability struct {
+	// Registry receives the server's metric families (GET /metrics). Nil
+	// constructs a private registry, retrievable via Metrics(). All
+	// instrumentation is passive — it observes decisions, it never
+	// influences them — so metrics on/off cannot change an accept/reject
+	// sequence (serve tests assert exactly that).
+	Registry *obs.Registry
+	// DisableMetrics turns instrumentation off entirely: no registry, no
+	// /metrics route, zero per-request observation work.
+	DisableMetrics bool
+	// AccessLog, when set, receives one structured line per HTTP request
+	// (id, method, route, status, bytes, duration, client).
+	AccessLog *slog.Logger
+}
+
+// Replan configures online replanning: the rolling request history the
+// shards capture, and the background rebuild + hot-swap machinery that
+// turns it into fresh plan generations. Requires OLIVE (the only
+// plan-guided online algorithm).
+type Replan struct {
+	// Enabled turns on history capture and the POST /v1/admin/replan
+	// trigger. Implied by a positive Interval.
+	Enabled bool
+	// Interval is the automatic rebuild cadence. It needs a wall clock,
+	// so it only ticks in real-time mode; in deterministic mode rebuilds
+	// happen solely through the admin trigger, which is synchronous and
+	// therefore ordered — and reproducible — within a replayed request
+	// stream. Zero means trigger-only.
+	Interval time.Duration
+	// HistoryDepth bounds each shard's history ring (default 4096
+	// requests). Smaller rings forget faster: the rebuilt plan tracks
+	// recent traffic more aggressively.
+	HistoryDepth int
+	// MinHistory is the minimum total captured requests a rebuild needs;
+	// triggers below it are skipped (default 64).
+	MinHistory int
+	// Plan overrides the rebuild's plan-construction options; the zero
+	// value means plan.DefaultOptions().
+	Plan plan.Options
+	// Seed derives each rebuild's aggregation-bootstrap rng stream
+	// (PCG(Seed, generation)), so generation g's rebuild is a pure
+	// function of the captured history.
+	Seed uint64
+}
+
 // Options configures a Server.
 type Options struct {
 	// Shards is the number of engine shards (default 1). Each shard owns
 	// an independent substrate state holding 1/Shards of every element's
-	// capacity.
+	// capacity. Resizable at runtime via Server.Resize.
 	Shards int
-	// QueueDepth bounds each shard's request queue (default 256). A full
-	// queue answers 429.
-	QueueDepth int
 	// Algorithm selects the embedding algorithm (default OLIVE when Plan
 	// is set, QUICKG otherwise). SLOTOFF is batch-only and rejected.
 	Algorithm core.Algorithm
-	// Plan is the PLAN-VNE plan guiding OLIVE. Ignored by QUICKG/FULLG.
+	// Plan is the PLAN-VNE plan guiding OLIVE (generation 0 when
+	// replanning is on). Ignored by QUICKG/FULLG.
 	Plan *plan.Plan
 	// Engine carries ablation switches forwarded to every shard's engine
 	// (Plan and Exact are overwritten from Algorithm/Plan).
@@ -73,23 +139,27 @@ type Options struct {
 	// function of the request stream.
 	Deterministic bool
 
-	// Registry receives the server's metric families (GET /metrics). Nil
-	// constructs a private registry, retrievable via Metrics(). All
-	// instrumentation is passive — it observes decisions, it never
-	// influences them — so metrics on/off cannot change an accept/reject
-	// sequence (serve tests assert exactly that).
-	Registry *obs.Registry
-	// DisableMetrics turns instrumentation off entirely: no registry, no
-	// /metrics route, zero per-request observation work.
-	DisableMetrics bool
-	// RateLimit configures admission token buckets in front of the shard
-	// queues (see limit.go). The zero value disables limiting. The
-	// limiter consults the wall clock, so enabling it in deterministic
-	// mode makes admission — though never a post-admission decision —
-	// timing-dependent.
+	// Limits groups the admission-control knobs.
+	Limits Limits
+	// Replan configures online replanning (disabled by default).
+	Replan Replan
+	// Observability groups the instrumentation wiring.
+	Observability Observability
+
+	// QueueDepth is a deprecated alias for Limits.QueueDepth, honored
+	// when the nested field is unset.
+	QueueDepth int
+	// RateLimit is a deprecated alias for Limits.RateLimit, honored when
+	// the nested field is unset.
 	RateLimit RateLimit
-	// AccessLog, when set, receives one structured line per HTTP request
-	// (id, method, route, status, bytes, duration, client).
+	// Registry is a deprecated alias for Observability.Registry, honored
+	// when the nested field is unset.
+	Registry *obs.Registry
+	// DisableMetrics is a deprecated alias for
+	// Observability.DisableMetrics (either set disables).
+	DisableMetrics bool
+	// AccessLog is a deprecated alias for Observability.AccessLog,
+	// honored when the nested field is unset.
 	AccessLog *slog.Logger
 
 	// testHookProcess, when set, runs on the shard goroutine before each
@@ -102,8 +172,23 @@ func (o *Options) normalize() error {
 	if o.Shards <= 0 {
 		o.Shards = 1
 	}
-	if o.QueueDepth <= 0 {
-		o.QueueDepth = 256
+	// Resolve the deprecated flat aliases into their sections. The rest
+	// of the package reads only the nested fields.
+	if o.Limits.QueueDepth <= 0 {
+		o.Limits.QueueDepth = o.QueueDepth
+	}
+	if o.Limits.QueueDepth <= 0 {
+		o.Limits.QueueDepth = 256
+	}
+	if !o.Limits.RateLimit.enabled() {
+		o.Limits.RateLimit = o.RateLimit
+	}
+	if o.Observability.Registry == nil {
+		o.Observability.Registry = o.Registry
+	}
+	o.Observability.DisableMetrics = o.Observability.DisableMetrics || o.DisableMetrics
+	if o.Observability.AccessLog == nil {
+		o.Observability.AccessLog = o.AccessLog
 	}
 	if o.SlotDuration <= 0 {
 		o.SlotDuration = time.Second
@@ -127,6 +212,23 @@ func (o *Options) normalize() error {
 	default:
 		return fmt.Errorf("serve: unknown algorithm %q", o.Algorithm)
 	}
+	if o.Replan.Interval > 0 {
+		o.Replan.Enabled = true
+	}
+	if o.Replan.Enabled {
+		if o.Algorithm != core.AlgoOLIVE {
+			return fmt.Errorf("serve: replanning requires OLIVE (got %s)", o.Algorithm)
+		}
+		if o.Replan.HistoryDepth <= 0 {
+			o.Replan.HistoryDepth = 4096
+		}
+		if o.Replan.MinHistory <= 0 {
+			o.Replan.MinHistory = 64
+		}
+		if o.Replan.Plan.Quantiles == 0 {
+			o.Replan.Plan = plan.DefaultOptions()
+		}
+	}
 	return nil
 }
 
@@ -137,9 +239,25 @@ type Server struct {
 	apps []*vnet.App
 	opts Options
 
-	shards  []*shard
+	// all holds every shard ever created (append-only, copy-on-write);
+	// route holds the shards new embeds hash onto. A shrink retires the
+	// routing tail but keeps the shards running — they still own live
+	// embeddings and serve their releases — and a later grow revives
+	// retired shards (with whatever capacity drained back onto them)
+	// before creating fresh ones.
+	all   atomic.Pointer[[]*shard]
+	route atomic.Pointer[[]*shard]
+
+	eopts   core.Options // resolved engine options new shards are built with
 	nextID  atomic.Int64
 	started time.Time
+
+	// curPlan/planGen are the latest published plan and its generation
+	// (0 = the construction plan). Shards adopt asynchronously; their
+	// individually adopted generation is in shard.gen.
+	curPlan atomic.Pointer[plan.Plan]
+	planGen atomic.Int64
+	replan  *replanner // nil unless Options.Replan.Enabled
 
 	draining  atomic.Bool
 	drainOnce sync.Once
@@ -148,14 +266,15 @@ type Server struct {
 	timerStop context.CancelFunc
 	timerWG   sync.WaitGroup
 	shardWG   sync.WaitGroup
+	resizeMu  sync.Mutex // serializes Resize; TryLock answers 409
 
 	lat     *latencyRing
 	revMu   sync.Mutex
 	revenue float64
 
-	met     *serverMetrics // nil when Options.DisableMetrics
-	limiter *rateLimiter   // nil unless Options.RateLimit is enabled
-	log     *slog.Logger   // nil unless Options.AccessLog is set
+	met     *serverMetrics // nil when Options.Observability.DisableMetrics
+	limiter *rateLimiter   // nil unless Options.Limits.RateLimit is enabled
+	log     *slog.Logger   // nil unless Options.Observability.AccessLog is set
 
 	// Shed counters for requests refused before reaching a shard queue
 	// (queue-full sheds are per-shard, on the shard struct).
@@ -163,6 +282,12 @@ type Server struct {
 	shedClient   atomic.Int64
 	shedDraining atomic.Int64
 }
+
+// allShards returns every shard ever created, retired ones included.
+func (s *Server) allShards() []*shard { return *s.all.Load() }
+
+// routeShards returns the shards new embeds are routed to.
+func (s *Server) routeShards() []*shard { return *s.route.Load() }
 
 // New builds a server over substrate g and application set apps. The
 // shards' engines are constructed eagerly so misconfiguration (e.g. OLIVE
@@ -185,58 +310,95 @@ func New(g *graph.Graph, apps []*vnet.App, opts Options) (*Server, error) {
 		g:         g,
 		apps:      apps,
 		opts:      opts,
+		eopts:     eopts,
 		started:   time.Now(),
 		drainDone: make(chan struct{}),
 		lat:       newLatencyRing(8192),
 	}
+	s.curPlan.Store(opts.Plan)
 	// Construct every shard before spawning any goroutine, so a failed
 	// construction leaks nothing.
+	var shards []*shard
 	for i := 0; i < opts.Shards; i++ {
-		st := substrate.New(g)
-		eng, err := core.NewEngineOn(embedder.ForState(st), apps, eopts)
+		sh, err := s.buildShard(i, 1/float64(opts.Shards))
 		if err != nil {
 			return nil, err
 		}
-		if opts.Shards > 1 {
-			st.ScaleResidual(1 / float64(opts.Shards))
-		}
-		sh := newShard(i, eng, st, opts.QueueDepth)
-		sh.hook = opts.testHookProcess
-		s.shards = append(s.shards, sh)
+		shards = append(shards, sh)
 	}
-	if opts.RateLimit.enabled() {
-		s.limiter = newRateLimiter(opts.RateLimit)
+	s.all.Store(&shards)
+	s.route.Store(&shards)
+	if opts.Limits.RateLimit.enabled() {
+		s.limiter = newRateLimiter(opts.Limits.RateLimit)
 	}
-	s.log = opts.AccessLog
-	if !opts.DisableMetrics {
-		reg := opts.Registry
+	s.log = opts.Observability.AccessLog
+	if opts.Replan.Enabled {
+		s.replan = newReplanner(s)
+	}
+	if !opts.Observability.DisableMetrics {
+		reg := opts.Observability.Registry
 		if reg == nil {
 			reg = obs.NewRegistry()
 		}
 		s.met = newServerMetrics(s, reg)
 	}
-	for _, sh := range s.shards {
-		s.shardWG.Add(1)
-		go func() {
-			defer s.shardWG.Done()
-			sh.run()
-		}()
+	for _, sh := range shards {
+		s.startShard(sh)
 	}
 	if !opts.Deterministic {
 		ctx, cancel := context.WithCancel(context.Background())
 		s.timerStop = cancel
 		s.timerWG.Add(1)
 		go s.departureTimer(ctx)
+		if s.replan != nil && opts.Replan.Interval > 0 {
+			s.replan.startTicker(opts.Replan.Interval)
+		}
 	}
 	return s, nil
 }
 
-// shardOf routes an ingress node to its shard: FNV-1a over the node ID.
-// The mapping is stable across runs and restarts, so plan classes (keyed
-// by app × ingress) always land on the same shard.
+// buildShard constructs (but does not start) one shard holding the given
+// fraction of the substrate capacity, running the currently published
+// plan generation.
+func (s *Server) buildShard(idx int, capFraction float64) (*shard, error) {
+	st := substrate.New(s.g)
+	eopts := s.eopts
+	if s.opts.Algorithm == core.AlgoOLIVE {
+		eopts.Plan = s.curPlan.Load()
+	}
+	eng, err := core.NewEngineOn(embedder.ForState(st), s.apps, eopts)
+	if err != nil {
+		return nil, err
+	}
+	if capFraction != 1 {
+		st.ScaleResidual(capFraction)
+	}
+	sh := newShard(idx, eng, st, s.opts.Limits.QueueDepth)
+	sh.hook = s.opts.testHookProcess
+	sh.gen.Store(s.planGen.Load())
+	if s.opts.Replan.Enabled {
+		sh.hist = newHistoryRing(s.opts.Replan.HistoryDepth)
+	}
+	return sh, nil
+}
+
+// startShard launches a shard's run loop under the shard wait group.
+func (s *Server) startShard(sh *shard) {
+	s.shardWG.Add(1)
+	go func() {
+		defer s.shardWG.Done()
+		sh.run()
+	}()
+}
+
+// shardOf routes an ingress node to its shard: FNV-1a over the node ID,
+// modulo the current routing table. The mapping is stable for a fixed
+// shard count, so plan classes (keyed by app × ingress) always land on
+// the same shard between resizes.
 func (s *Server) shardOf(ingress graph.NodeID) *shard {
-	if len(s.shards) == 1 {
-		return s.shards[0]
+	route := s.routeShards()
+	if len(route) == 1 {
+		return route[0]
 	}
 	h := fnv.New32a()
 	var b [4]byte
@@ -245,7 +407,7 @@ func (s *Server) shardOf(ingress graph.NodeID) *shard {
 	b[2] = byte(ingress >> 16)
 	b[3] = byte(ingress >> 24)
 	h.Write(b[:])
-	return s.shards[h.Sum32()%uint32(len(s.shards))]
+	return route[h.Sum32()%uint32(len(route))]
 }
 
 // departureTimer advances every shard's clock once per slot so expired
@@ -262,7 +424,7 @@ func (s *Server) departureTimer(ctx context.Context) {
 			return
 		case now := <-tick.C:
 			slot := int(now.Sub(s.started) / s.opts.SlotDuration)
-			for _, sh := range s.shards {
+			for _, sh := range s.allShards() {
 				sh.tryAdvance(slot)
 			}
 		}
@@ -275,14 +437,14 @@ func (s *Server) uptime() time.Duration { return time.Since(s.started) }
 // queueShed sums the per-shard queue-full shed counters.
 func (s *Server) queueShed() int64 {
 	var t int64
-	for _, sh := range s.shards {
+	for _, sh := range s.allShards() {
 		t += sh.shed.Load()
 	}
 	return t
 }
 
 // Metrics returns the server's metric registry (the one behind GET
-// /metrics), or nil when Options.DisableMetrics is set.
+// /metrics), or nil when Options.Observability.DisableMetrics is set.
 func (s *Server) Metrics() *obs.Registry {
 	if s.met == nil {
 		return nil
@@ -301,10 +463,10 @@ func (s *Server) clockSlot() int {
 
 // Drain gracefully stops the server: new requests are refused with 503,
 // every admitted request still receives its decision, departure timers
-// stop, and the shard loops exit after emptying their queues. The context
-// bounds the wait. Drain is idempotent and safe to call concurrently:
-// every caller — first or not — blocks until the drain completes (or its
-// own context expires).
+// and the replan ticker stop, and the shard loops exit after emptying
+// their queues. The context bounds the wait. Drain is idempotent and safe
+// to call concurrently: every caller — first or not — blocks until the
+// drain completes (or its own context expires).
 func (s *Server) Drain(ctx context.Context) error {
 	s.drainOnce.Do(func() {
 		s.draining.Store(true)
@@ -314,7 +476,10 @@ func (s *Server) Drain(ctx context.Context) error {
 				s.timerStop()
 			}
 			s.timerWG.Wait()
-			for _, sh := range s.shards {
+			if s.replan != nil {
+				s.replan.stopTicker()
+			}
+			for _, sh := range s.allShards() {
 				close(sh.queue)
 			}
 			s.shardWG.Wait()

@@ -221,7 +221,7 @@ func TestBackpressure429(t *testing.T) {
 
 	// Fill the depth-1 queue deterministically with a no-op release.
 	filler := op{kind: opRelease, id: -1, reply: make(chan result, 1)}
-	s.shards[0].queue <- filler
+	s.allShards()[0].queue <- filler
 
 	// Queue full: the next request must bounce synchronously with 429.
 	resp, _ := postEmbed(t, ts.URL, er)

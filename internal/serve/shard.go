@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/olive-vne/olive/internal/core"
+	"github.com/olive-vne/olive/internal/plan"
 	"github.com/olive-vne/olive/internal/substrate"
 	"github.com/olive-vne/olive/internal/workload"
 )
@@ -16,14 +17,24 @@ type opKind uint8
 const (
 	opEmbed opKind = iota
 	opRelease
+	// opScaleDonate scales the shard's residual by a factor and replies
+	// with the donated (removed) per-element capacity — the harvest half
+	// of elastic re-sharding. Factor 0 takes everything.
+	opScaleDonate
+	// opAddResidual deposits a donated capacity vector into the shard's
+	// residual — the other half of re-sharding.
+	opAddResidual
 )
 
 // op is one unit of serialized shard work. Embeds carry the request and a
-// reply channel; releases carry the request ID.
+// reply channel; releases carry the request ID; the re-sharding ops carry
+// a scale factor or a capacity vector.
 type op struct {
 	kind     opKind
 	req      workload.Request
 	id       int
+	factor   float64   // opScaleDonate: residual fraction the shard keeps
+	vec      []float64 // opAddResidual: per-element capacity to deposit
 	reply    chan result
 	enqueued time.Time // queue-wait measurement; zero when metrics are off
 }
@@ -37,7 +48,19 @@ type result struct {
 	cost      float64
 	nodes     []int
 	preempted []int
+	donated   []float64 // opScaleDonate: harvested capacity
 	err       error
+}
+
+// planUpdate is one published plan generation awaiting adoption by a
+// shard. The replanner (or a resize) stores it into the shard's pending
+// pointer; the shard goroutine adopts it before the next serialized
+// operation, so no request ever observes a half-swapped plan and
+// requests already decided keep the generation they were decided under.
+type planUpdate struct {
+	p         *plan.Plan
+	gen       int64
+	published time.Time // swap-latency measurement (publish → adopt)
 }
 
 // shard owns one single-threaded engine plus its substrate state. All
@@ -54,8 +77,17 @@ type shard struct {
 	baseRes float64 // Σ residual at construction (the shard's capacity slice)
 	hook    func(shard int)
 	met     *shardMetrics // latency histograms; nil when metrics are off
+	hist    *historyRing  // rolling request history; nil unless replanning is on
+
+	// pending is the next plan generation to adopt (nil when current).
+	// Written by the replanner/resize publisher, consumed by the shard
+	// goroutine; latest published generation wins.
+	pending atomic.Pointer[planUpdate]
 
 	// Counters read by /stats from other goroutines.
+	gen       atomic.Int64 // plan generation the engine currently runs
+	slot      atomic.Int64 // published virtual clock (mirror of now)
+	retired   atomic.Bool  // removed from the routing table by a shrink
 	processed atomic.Int64
 	accepted  atomic.Int64
 	rejected  atomic.Int64
@@ -102,9 +134,29 @@ func (sh *shard) run() {
 			}
 			sh.handle(o)
 		case slot := <-sh.adv:
+			sh.adoptPending()
 			sh.advance(slot)
 			sh.refreshGauges()
 		}
+	}
+}
+
+// adoptPending swaps in the latest published plan, if any. It runs on
+// the shard goroutine before each serialized operation, so the swap is
+// atomic with respect to decisions: every request is decided entirely
+// under one generation, and the adoption point in a sequential replay
+// stream is exactly the gap between two requests — deterministic when
+// the trigger is (the admin endpoint is synchronous; cadence triggers
+// are a real-time-mode feature).
+func (sh *shard) adoptPending() {
+	pu := sh.pending.Load()
+	if pu == nil || !sh.pending.CompareAndSwap(pu, nil) {
+		return
+	}
+	sh.eng.SwapPlan(pu.p)
+	sh.gen.Store(pu.gen)
+	if sh.met != nil {
+		sh.met.swapDur.Observe(time.Since(pu.published).Seconds())
 	}
 }
 
@@ -113,11 +165,13 @@ func (sh *shard) run() {
 func (sh *shard) advance(slot int) {
 	if slot > sh.now {
 		sh.now = slot
+		sh.slot.Store(int64(slot))
 		sh.eng.StartSlot(slot)
 	}
 }
 
 func (sh *shard) handle(o op) {
+	sh.adoptPending()
 	switch o.kind {
 	case opEmbed:
 		sh.handleEmbed(o)
@@ -127,6 +181,21 @@ func (sh *shard) handle(o op) {
 			sh.released.Add(1)
 		}
 		o.reply <- result{slot: sh.now, released: ok}
+	case opScaleDonate:
+		res := sh.st.ResidualVec()
+		donated := make([]float64, len(res))
+		for i, r := range res {
+			donated[i] = r * (1 - o.factor)
+			sh.baseRes -= donated[i]
+		}
+		sh.st.ScaleResidual(o.factor)
+		o.reply <- result{slot: sh.now, donated: donated}
+	case opAddResidual:
+		for _, v := range o.vec {
+			sh.baseRes += v
+		}
+		sh.st.AddResidual(o.vec)
+		o.reply <- result{slot: sh.now}
 	}
 	sh.refreshGauges()
 }
@@ -141,6 +210,9 @@ func (sh *shard) handleEmbed(o op) {
 	r := o.req
 	r.Arrive = sh.now // engine contract: requests arrive at the current slot
 
+	if sh.hist != nil {
+		sh.hist.add(r)
+	}
 	if sh.met != nil && !o.enqueued.IsZero() {
 		sh.met.queueWait.Observe(time.Since(o.enqueued).Seconds())
 	}

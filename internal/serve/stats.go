@@ -104,6 +104,16 @@ type ShardStats struct {
 	// Utilization is the allocated fraction of this shard's capacity
 	// slice (1 − Σresidual/Σslice).
 	Utilization float64 `json:"utilization"`
+	// Generation is the plan generation this shard's engine currently
+	// runs (it trails the published generation until the shard's next
+	// serialized operation).
+	Generation int64 `json:"generation"`
+	// Retired marks shards removed from the routing table by a shrink;
+	// they still serve releases and departures for embeddings they own.
+	Retired bool `json:"retired,omitempty"`
+	// HistoryDepth is the request count in this shard's rolling replan
+	// history ring (0 with replanning off).
+	HistoryDepth int `json:"history_depth,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -140,6 +150,21 @@ type StatsResponse struct {
 		Samples int64 `json:"samples"`
 	} `json:"latency"`
 
+	// Replan reports the adaptive-replanning state: the published plan
+	// generation, the rebuild outcome counters, and the provenance of
+	// the last published generation.
+	Replan struct {
+		Enabled             bool  `json:"enabled"`
+		Generation          int64 `json:"generation"`
+		Rebuilds            int64 `json:"rebuilds"`
+		Failed              int64 `json:"failed"`
+		Skipped             int64 `json:"skipped"`
+		LastBuiltSlot       int64 `json:"last_built_slot"`
+		LastHistoryRequests int64 `json:"last_history_requests"`
+		LastClasses         int64 `json:"last_classes"`
+		HistoryDepth        int   `json:"history_depth"`
+	} `json:"replan"`
+
 	// LP aggregates the process-wide solver counters (the daemon owns
 	// the process, so they are effectively server counters).
 	LP struct {
@@ -162,10 +187,10 @@ type StatsResponse struct {
 func (s *Server) Stats() StatsResponse {
 	var out StatsResponse
 	out.UptimeS = time.Since(s.started).Seconds()
-	out.Shards = len(s.shards)
+	out.Shards = len(s.routeShards())
 	out.Algorithm = string(s.opts.Algorithm)
 	out.Deterministic = s.opts.Deterministic
-	for _, sh := range s.shards {
+	for _, sh := range s.allShards() {
 		ss := ShardStats{
 			Shard:       sh.idx,
 			Processed:   sh.processed.Load(),
@@ -176,6 +201,11 @@ func (s *Server) Stats() StatsResponse {
 			QueueCap:    cap(sh.queue),
 			Shed:        sh.shed.Load(),
 			Utilization: sh.utilization(),
+			Generation:  sh.gen.Load(),
+			Retired:     sh.retired.Load(),
+		}
+		if sh.hist != nil {
+			ss.HistoryDepth = sh.hist.depth()
 		}
 		out.PerShard = append(out.PerShard, ss)
 		out.Requests.Total += ss.Processed
@@ -190,6 +220,17 @@ func (s *Server) Stats() StatsResponse {
 	}
 	out.Requests.RateLimited = s.shedGlobal.Load() + s.shedClient.Load()
 	out.Revenue = s.readRevenue()
+	out.Replan.Enabled = s.replan != nil
+	out.Replan.Generation = s.planGen.Load()
+	out.Replan.HistoryDepth = s.historyDepth()
+	if r := s.replan; r != nil {
+		out.Replan.Rebuilds = r.rebuilds.Load()
+		out.Replan.Failed = r.failed.Load()
+		out.Replan.Skipped = r.skipped.Load()
+		out.Replan.LastBuiltSlot = r.lastBuiltSlot.Load()
+		out.Replan.LastHistoryRequests = r.lastHistory.Load()
+		out.Replan.LastClasses = r.lastClasses.Load()
+	}
 	q := s.lat.quantiles()
 	out.Latency.P50US = q.P50.Microseconds()
 	out.Latency.P90US = q.P90.Microseconds()

@@ -268,6 +268,17 @@ func (s *State) ScaleResidual(f float64) {
 	}
 }
 
+// AddResidual adds the per-element capacities in add to the residual
+// vector — the other half of the serving layer's re-partitioning: a
+// shard donating capacity scales its residual down and the recipient
+// adds the donated vector here. Prices and the path cache are
+// unaffected, mirroring ScaleResidual.
+func (s *State) AddResidual(add []float64) {
+	for i, v := range add {
+		s.res[i] += v
+	}
+}
+
 // Apply subtracts demand d of embedding e from the residual vector.
 func (s *State) Apply(e *vnet.Embedding, d float64) { e.Apply(s.res, d) }
 

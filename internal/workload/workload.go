@@ -427,10 +427,21 @@ func GenerateCAIDA(g *graph.Graph, p Params, cp CAIDAParams, rng *rand.Rand) (*T
 // replaced by a uniformly random edge node — the "spatial distribution
 // change" stressor of Fig. 14, applied to the planning input.
 func ShuffleIngress(t *Trace, g *graph.Graph, rng *rand.Rand) *Trace {
+	return ShuffleIngressFrom(t, g, 0, rng)
+}
+
+// ShuffleIngressFrom is ShuffleIngress restricted to requests arriving at
+// or after fromSlot: the prefix keeps its spatial distribution, the
+// suffix is redrawn uniformly over the edge nodes. This is the drifted
+// second-half stressor the serving layer's replanning demo uses — a plan
+// built on the prefix distribution faces a suffix it never saw.
+func ShuffleIngressFrom(t *Trace, g *graph.Graph, fromSlot int, rng *rand.Rand) *Trace {
 	edge := g.EdgeNodes()
 	out := &Trace{Slots: t.Slots, Requests: append([]Request(nil), t.Requests...)}
 	for i := range out.Requests {
-		out.Requests[i].Ingress = edge[rng.IntN(len(edge))]
+		if out.Requests[i].Arrive >= fromSlot {
+			out.Requests[i].Ingress = edge[rng.IntN(len(edge))]
+		}
 	}
 	return out
 }

@@ -484,17 +484,53 @@ type (
 	// requests of one ingress onto one shard. See cmd/vnesimd for the
 	// daemon.
 	Server = serve.Server
-	// ServerOptions configures a Server: shard count, queue depth (full
-	// queues answer 429), algorithm, slot duration, and the
-	// deterministic virtual-clock mode CI leans on.
+	// ServerOptions configures a Server: shard count, algorithm, slot
+	// duration, the deterministic virtual-clock mode CI leans on, and
+	// the nested ServerLimits / ServerReplan / ServerObservability
+	// groups (the old flat fields remain as deprecated aliases).
 	ServerOptions = serve.Options
+	// ServerLimits groups the admission-control knobs: per-shard queue
+	// depth (full queues answer 429) and the token-bucket rate limits.
+	ServerLimits = serve.Limits
+	// ServerReplan configures live adaptive replanning: the rolling
+	// request-history depth, the rebuild cadence, and the plan options
+	// rebuilds solve under. See the README "Replanning" section.
+	ServerReplan = serve.Replan
+	// ServerObservability groups the metrics registry and access-log
+	// wiring.
+	ServerObservability = serve.Observability
 	// ServerStats is the GET /v1/stats payload: acceptance rate,
-	// revenue, p50/p99 decision latency and per-shard utilization.
+	// revenue, p50/p99 decision latency, replanning state and per-shard
+	// utilization.
 	ServerStats = serve.StatsResponse
 	// ServeEmbedRequest is the POST /v1/embed request body.
 	ServeEmbedRequest = serve.EmbedRequest
 	// ServeEmbedResponse is the accept/reject decision for one request.
 	ServeEmbedResponse = serve.EmbedResponse
+	// ServeErrorBody is the payload of the v1 error envelope every
+	// non-2xx /v1/* response carries: a stable machine-readable code, a
+	// human-readable message, and a retry hint on 429s.
+	ServeErrorBody = serve.ErrorBody
+	// ServePlanInfo is the GET /v1/plan payload: the published plan
+	// generation, its provenance, and per-shard adoption state.
+	ServePlanInfo = serve.PlanInfo
+	// ServeResizeResult reports what a POST /v1/admin/resize did.
+	ServeResizeResult = serve.ResizeResult
+)
+
+// Serve error codes (the "code" field of the v1 error envelope).
+const (
+	ServeErrBadRequest          = serve.ErrCodeBadRequest
+	ServeErrNotFound            = serve.ErrCodeNotFound
+	ServeErrRateLimited         = serve.ErrCodeRateLimited
+	ServeErrQueueFull           = serve.ErrCodeQueueFull
+	ServeErrReplanInProgress    = serve.ErrCodeReplanInProgress
+	ServeErrReplanDisabled      = serve.ErrCodeReplanDisabled
+	ServeErrInsufficientHistory = serve.ErrCodeInsufficientHistory
+	ServeErrReplanFailed        = serve.ErrCodeReplanFailed
+	ServeErrResizeInProgress    = serve.ErrCodeResizeInProgress
+	ServeErrDraining            = serve.ErrCodeDraining
+	ServeErrEngine              = serve.ErrCodeEngine
 )
 
 // NewServer builds an online embedding server over g and apps. Expose its
