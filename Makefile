@@ -3,14 +3,39 @@
 
 BASELINE := testdata/bench_baseline.json
 
-.PHONY: test race bench-report
+.PHONY: test race lint fuzz bench-report
 
 test:
 	go build ./... && go test ./...
 
 race:
 	go test -race ./internal/serve/... ./internal/runner/... \
-	    ./internal/substrate/... ./internal/lp/...
+	    ./internal/substrate/... ./internal/lp/... \
+	    ./internal/obs/... ./internal/scenario/... ./internal/plan/...
+
+# Everything the CI lint + olivelint jobs run, in one target. staticcheck
+# is optional locally (skipped with a note when not installed); olivelint
+# runs both standalone and through the vet driver, matching CI.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+	    echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	go vet ./...
+	go test ./internal/lint/...
+	go run ./cmd/olivelint ./...
+	@go build -o /tmp/olivelint ./cmd/olivelint && \
+	    go vet -vettool=/tmp/olivelint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+	    staticcheck -checks "all,-ST1000,-ST1003,-ST1020,-ST1021,-ST1022" ./...; \
+	else \
+	    echo "lint: staticcheck not installed locally; skipped (CI runs it)" >&2; \
+	fi
+
+# Short local fuzz passes over the external-bytes parsers (same targets
+# as the CI smoke step; raise FUZZTIME to grow the corpus).
+FUZZTIME ?= 30s
+fuzz:
+	go test -run=NONE -fuzz='^FuzzLPLoad$$' -fuzztime=$(FUZZTIME) ./internal/lp
+	go test -run=NONE -fuzz='^FuzzObsParseText$$' -fuzztime=$(FUZZTIME) ./internal/obs
 
 # Emit a machine-readable perf snapshot (bench_report.json) of every
 # benchmark the CI guard pins, run under the guard's exact conditions

@@ -1,0 +1,92 @@
+package main
+
+// The go command's -vettool protocol: for each package, go vet writes
+// a JSON config file describing the unit of work (source files, the
+// import map, compiled export data for every dependency) and invokes
+// the tool with that file as its sole argument. The tool type-checks
+// the unit, runs its analyzers, prints findings to stderr, writes the
+// (here: empty — olivelint exports no facts) .vetx output, and exits 2
+// when it found anything. This mirrors
+// golang.org/x/tools/go/analysis/unitchecker, which is unavailable in
+// this repo's offline build environment.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+
+	"github.com/olive-vne/olive/internal/lint/load"
+)
+
+// vetConfig is the subset of the go command's vet config olivelint
+// consumes. Field names are fixed by the protocol.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "olivelint: reading vet config: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "olivelint: parsing vet config %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// Facts output must exist for the go command to cache the action,
+	// even though olivelint has none to export.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			os.WriteFile(cfg.VetxOutput, []byte("olivelint: no facts\n"), 0o666)
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency visited only for facts: nothing to do.
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := load.ExportImporter(fset, func(path string) (string, bool) {
+		if actual, ok := cfg.ImportMap[path]; ok {
+			path = actual
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	pkg, err := load.Check(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "olivelint: %v\n", err)
+		return 1
+	}
+
+	diags := runAnalyzers(fset, pkg)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.posn, d.text)
+	}
+	writeVetx()
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -135,6 +135,8 @@ func (o *Oracle) State() *substrate.State { return o.st }
 // The DP is exact for tree-shaped apps: children subtrees are independent
 // given the parent's placement, and each virtual link independently takes
 // a shortest path under the prices.
+//
+//olive:hotpath per-request embedding decision entry point
 func (o *Oracle) MinCostEmbed(app *vnet.App, ingress graph.NodeID) (*vnet.Embedding, float64, bool) {
 	return o.minCost(o.st, app, ingress, nil)
 }
@@ -146,6 +148,8 @@ func (o *Oracle) MinCostEmbed(app *vnet.App, ingress graph.NodeID) (*vnet.Embedd
 type Restriction func(vnet.VNFID, graph.NodeID) bool
 
 // MinCostEmbedRestricted is MinCostEmbed with per-VNF node restrictions.
+//
+//olive:hotpath FULLG branch-out retry primitive
 func (o *Oracle) MinCostEmbedRestricted(app *vnet.App, ingress graph.NodeID, allow Restriction) (*vnet.Embedding, float64, bool) {
 	return o.minCost(o.st, app, ingress, allow)
 }
@@ -155,6 +159,8 @@ func (o *Oracle) MinCostEmbedRestricted(app *vnet.App, ingress graph.NodeID, all
 // links +Inf path weight. This is the FULLG capacity branch-out's retry
 // primitive — it reuses pooled exclusion views instead of rebuilding an
 // oracle, so a retry performs no all-pairs computation.
+//
+//olive:hotpath FULLG branch-out retry primitive; pooled views, no oracle rebuild
 func (o *Oracle) MinCostEmbedExcluded(app *vnet.App, ingress graph.NodeID, allow Restriction, exclude map[graph.ElementID]bool) (*vnet.Embedding, float64, bool) {
 	if len(exclude) == 0 {
 		return o.minCost(o.st, app, ingress, allow)

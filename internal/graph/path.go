@@ -125,6 +125,8 @@ func (g *Graph) Dijkstra(src NodeID, w WeightFunc) *ShortestPathTree {
 // result is identical to a fresh Dijkstra call: the scan order and the
 // tie-breaking of equal-distance pops do not depend on the buffers'
 // previous contents.
+//
+//olive:hotpath allocation-free after warm-up; buffers reused across recomputations
 func (g *Graph) DijkstraInto(t *ShortestPathTree, src NodeID, w WeightFunc) *ShortestPathTree {
 	n := len(g.nodes)
 	if t == nil || cap(t.Dist) < n || cap(t.prevLink) < n {
@@ -177,6 +179,8 @@ func (g *Graph) DijkstraInto(t *ShortestPathTree, src NodeID, w WeightFunc) *Sho
 // weight lookup is a plain slice index, and skipping the closure and the
 // Link copy per scanned edge roughly halves the relaxation loop's cost.
 // Results are bit-identical to DijkstraInto with w(l) == lw[l.ID].
+//
+//olive:hotpath allocation-free after warm-up; the price-driven tree recompute path
 func (g *Graph) DijkstraLinkWeightsInto(t *ShortestPathTree, src NodeID, lw []float64) *ShortestPathTree {
 	n := len(g.nodes)
 	if t == nil || cap(t.Dist) < n || cap(t.prevLink) < n {
@@ -222,6 +226,8 @@ func (g *Graph) DijkstraLinkWeightsInto(t *ShortestPathTree, src NodeID, lw []fl
 
 // PathTo reconstructs the shortest path from the tree's source to dst.
 // ok is false if dst is unreachable.
+//
+//olive:hotpath exact-size reconstruction, no append growth
 func (t *ShortestPathTree) PathTo(dst NodeID) (Path, bool) {
 	if math.IsInf(t.Dist[dst], 1) {
 		return Path{}, false

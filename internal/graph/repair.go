@@ -108,6 +108,8 @@ func (t *ShortestPathTree) TieFreeLinkWeights(lw []float64) bool {
 // New == lw[Link], both finite), weights are non-negative, and the
 // graph is unchanged. Repair aborts (returns false) when the torn-down
 // region exceeds maxDamage nodes or any exact distance tie appears.
+//
+//olive:hotpath incremental tree repair; scratch-backed, no per-call allocation
 func (t *ShortestPathTree) RepairLinkWeights(sc *RepairScratch, lw []float64, dirty []LinkDelta, maxDamage int) bool {
 	g := t.g
 	adj := g.adjacency()
@@ -164,14 +166,6 @@ func (t *ShortestPathTree) RepairLinkWeights(sc *RepairScratch, lw []float64, di
 	// Phase 2: seed the heap. Damaged nodes re-enter from their intact
 	// frontier; decreased links seed improvement waves from both ends.
 	pq := t.pq[:0]
-	relax := func(x NodeID, lid LinkID, d float64) {
-		if d < t.Dist[x] {
-			t.Dist[x] = d
-			t.prevLink[x] = lid
-			sc.touch(x)
-			pq.push(pqItem{node: x, dist: d})
-		}
-	}
 	for _, x := range sc.dlist {
 		for p, end := adj.off[x], adj.off[x+1]; p < end; p++ {
 			y := adj.other[p]
@@ -180,7 +174,7 @@ func (t *ShortestPathTree) RepairLinkWeights(sc *RepairScratch, lw []float64, di
 			}
 			w := lw[adj.link[p]]
 			if !math.IsInf(w, 1) && !math.IsInf(t.Dist[y], 1) {
-				relax(x, adj.link[p], t.Dist[y]+w)
+				t.repairRelax(sc, &pq, x, adj.link[p], t.Dist[y]+w)
 			}
 		}
 	}
@@ -192,10 +186,10 @@ func (t *ShortestPathTree) RepairLinkWeights(sc *RepairScratch, lw []float64, di
 		w := lw[d.Link]
 		if !sc.damaged[l.From] && !sc.damaged[l.To] {
 			if !math.IsInf(t.Dist[l.From], 1) {
-				relax(l.To, d.Link, t.Dist[l.From]+w)
+				t.repairRelax(sc, &pq, l.To, d.Link, t.Dist[l.From]+w)
 			}
 			if !math.IsInf(t.Dist[l.To], 1) {
-				relax(l.From, d.Link, t.Dist[l.To]+w)
+				t.repairRelax(sc, &pq, l.From, d.Link, t.Dist[l.To]+w)
 			}
 		}
 	}
@@ -212,7 +206,7 @@ func (t *ShortestPathTree) RepairLinkWeights(sc *RepairScratch, lw []float64, di
 			if math.IsInf(w, 1) {
 				continue
 			}
-			relax(adj.other[p], adj.link[p], it.dist+w)
+			t.repairRelax(sc, &pq, adj.other[p], adj.link[p], it.dist+w)
 		}
 	}
 	t.pq = pq
@@ -256,4 +250,18 @@ func (t *ShortestPathTree) RepairLinkWeights(sc *RepairScratch, lw []float64, di
 		}
 	}
 	return true
+}
+
+// repairRelax is the relaxation step shared by phases 2 and 3 of
+// RepairLinkWeights: adopt the candidate distance if it improves, record
+// the achieving link as parent, and queue the node for settling. A named
+// method rather than a closure so the repair path does not allocate a
+// closure context (it would capture t, sc and pq by reference).
+func (t *ShortestPathTree) repairRelax(sc *RepairScratch, pq *priorityQueue, x NodeID, lid LinkID, d float64) {
+	if d < t.Dist[x] {
+		t.Dist[x] = d
+		t.prevLink[x] = lid
+		sc.touch(x)
+		pq.push(pqItem{node: x, dist: d})
+	}
 }

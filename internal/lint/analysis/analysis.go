@@ -1,0 +1,64 @@
+// Package analysis is a minimal, dependency-free analogue of
+// golang.org/x/tools/go/analysis, just large enough to host olivelint's
+// project-specific analyzers. The container that builds this repo has no
+// module proxy access, so the x/tools framework cannot be vendored; the
+// API shape below mirrors it closely enough that the analyzers would
+// port to the real framework by changing one import.
+//
+// Differences from x/tools kept deliberate: no Facts, no Requires graph
+// (every olivelint analyzer is a single-package pass over syntax +
+// types), and no SuggestedFixes.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -<name>=false
+	// flags. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph documentation shown by `olivelint help`.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass presents one package to an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // package syntax, comments included
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver owns ordering and
+	// formatting.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Inspect walks every file of the pass in source order, calling f for
+// each node; f returning false prunes the subtree (ast.Inspect
+// semantics).
+func (p *Pass) Inspect(f func(ast.Node) bool) {
+	for _, file := range p.Files {
+		ast.Inspect(file, f)
+	}
+}

@@ -1,0 +1,296 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest closely enough that the
+// fixtures would port unchanged.
+//
+// Fixtures live under <analyzer pkg>/testdata/src/<importpath>/ — a
+// GOPATH-shaped tree the go tool ignores. Fixture files annotate the
+// lines where diagnostics are expected:
+//
+//	consume(rng) // want `rng .* map`
+//	bad()        // want "first" "second"
+//
+// Each string is a regular expression that must match a diagnostic
+// reported on that line; diagnostics with no matching want, and wants
+// with no matching diagnostic, fail the test. Fixture imports resolve
+// first against sibling fixture packages in the same testdata/src tree
+// (so fixtures can model project types like obs.Registry with local
+// stubs), then against the standard library via compiled export data.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/olive-vne/olive/internal/lint/analysis"
+	"github.com/olive-vne/olive/internal/lint/load"
+)
+
+// Run analyzes the fixture packages named by importpaths (directories
+// under dir/src) with a and reports want mismatches through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, importpaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{
+		root:  filepath.Join(dir, "src"),
+		fset:  fset,
+		cache: map[string]*fixturePkg{},
+	}
+	for _, path := range importpaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		runOne(t, a, pkg)
+	}
+}
+
+type fixturePkg struct {
+	path  string
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+	fset  *token.FileSet
+}
+
+// fixtureLoader resolves fixture-local imports from the testdata tree
+// and everything else from stdlib export data.
+type fixtureLoader struct {
+	root        string
+	fset        *token.FileSet
+	cache       map[string]*fixturePkg
+	exports     map[string]string // stdlib import path -> export file
+	stdImporter types.Importer
+}
+
+func (l *fixtureLoader) load(path string) (*fixturePkg, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: (*fixtureImporter)(l)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	p := &fixturePkg{path: path, files: files, types: tpkg, info: info, fset: l.fset}
+	l.cache[path] = p
+	return p, nil
+}
+
+// fixtureImporter adapts fixtureLoader to types.Importer.
+type fixtureImporter fixtureLoader
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	l := (*fixtureLoader)(im)
+	if st, err := os.Stat(filepath.Join(l.root, path)); err == nil && st.IsDir() {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.types, nil
+	}
+	return l.stdImport(path)
+}
+
+// stdImport resolves path through compiled export data, shelling out to
+// `go list -export` once per distinct root package and caching the
+// transitive export map.
+func (l *fixtureLoader) stdImport(path string) (*types.Package, error) {
+	if l.exports == nil {
+		l.exports = map[string]string{}
+	}
+	if _, ok := l.exports[path]; !ok {
+		cmd := exec.Command("go", "list", "-export", "-deps", "-json=ImportPath,Export", path)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.Bytes())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				l.exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	if l.stdImporter == nil {
+		l.stdImporter = load.ExportImporter(l.fset, func(p string) (string, bool) {
+			e, ok := l.exports[p]
+			return e, ok
+		})
+	}
+	return l.stdImporter.Import(path)
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, pkg *fixturePkg) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.fset,
+		Files:     pkg.files,
+		Pkg:       pkg.types,
+		TypesInfo: pkg.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer error on %s: %v", a.Name, pkg.path, err)
+	}
+
+	wants := collectWants(t, pkg)
+
+	// Match each diagnostic to an unconsumed want on its line.
+	for _, d := range diags {
+		pos := pkg.fset.Position(d.Pos)
+		key := lineKey{pos.Filename, pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, pos.Filename, pos.Line, d.Message)
+		}
+	}
+	var keys []lineKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.used {
+				t.Errorf("%s: expected diagnostic matching %q at %s:%d, got none", a.Name, w.re, k.file, k.line)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRE = regexp.MustCompile(`(?://|/\*)\s*want\s+(.*)`)
+
+// collectWants parses `// want "re" …` comments from the fixture files.
+func collectWants(t *testing.T, pkg *fixturePkg) map[lineKey][]*want {
+	t.Helper()
+	wants := map[lineKey][]*want{}
+	for _, f := range pkg.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.fset.Position(c.Pos())
+				for _, pat := range splitPatterns(t, m[1], pos) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("bad want pattern %q at %s:%d: %v", pat, pos.Filename, pos.Line, err)
+					}
+					k := lineKey{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns tokenizes the payload of a want comment: a sequence of
+// double-quoted (Go-escaped) or backquoted regular expressions.
+func splitPatterns(t *testing.T, s string, pos token.Position) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSuffix(strings.TrimSpace(s), "*/")
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("unterminated want string at %s:%d: %s", pos.Filename, pos.Line, s)
+			}
+			q, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("bad want string at %s:%d: %v", pos.Filename, pos.Line, err)
+			}
+			out = append(out, q)
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("unterminated want pattern at %s:%d: %s", pos.Filename, pos.Line, s)
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		default:
+			t.Fatalf("malformed want payload at %s:%d: %q", pos.Filename, pos.Line, s)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// Package analyzers enumerates olivelint's checks.
+package analyzers
+
+import (
+	"github.com/olive-vne/olive/internal/lint/analysis"
+	"github.com/olive-vne/olive/internal/lint/analyzers/detsource"
+	"github.com/olive-vne/olive/internal/lint/analyzers/errenvelope"
+	"github.com/olive-vne/olive/internal/lint/analyzers/hotpath"
+	"github.com/olive-vne/olive/internal/lint/analyzers/maporder"
+	"github.com/olive-vne/olive/internal/lint/analyzers/metricname"
+)
+
+// All returns every olivelint analyzer, in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maporder.Analyzer,
+		detsource.Analyzer,
+		hotpath.Analyzer,
+		metricname.Analyzer,
+		errenvelope.Analyzer,
+	}
+}

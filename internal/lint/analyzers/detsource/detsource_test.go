@@ -1,0 +1,12 @@
+package detsource_test
+
+import (
+	"testing"
+
+	"github.com/olive-vne/olive/internal/lint/analysistest"
+	"github.com/olive-vne/olive/internal/lint/analyzers/detsource"
+)
+
+func TestDetSource(t *testing.T) {
+	analysistest.Run(t, "testdata", detsource.Analyzer, "plan", "tools")
+}

@@ -1,0 +1,53 @@
+// Package plan is an in-scope fixture (its import-path base is one of
+// the deterministic packages) for the detsource analyzer.
+package plan
+
+import (
+	"math/rand/v2"
+	"os"
+	"time"
+)
+
+func bad() time.Time {
+	return time.Now() // want `time.Now \(wall clock\) in deterministic package plan`
+}
+
+func badEnv() string {
+	return os.Getenv("X") // want `os.Getenv \(environment read\) in deterministic package plan`
+}
+
+func badRand() int {
+	return rand.IntN(6) // want `rand.IntN \(global rand\) in deterministic package plan`
+}
+
+// goodRand constructs a seeded source — the sanctioned pattern.
+func goodRand() *rand.Rand {
+	return rand.New(rand.NewPCG(1, 2))
+}
+
+// methodFine: methods are always fine (time arithmetic, an injected
+// clock, a threaded *rand.Rand).
+func methodFine(base time.Time, d time.Duration, rng *rand.Rand) time.Time {
+	_ = rng.Float64()
+	return base.Add(d)
+}
+
+func stamped() int64 {
+	t := time.Now() //olive:wallclock reviewed: diagnostic only
+	return t.Unix()
+}
+
+//olive:wallclock whole function reviewed; progress reporting only
+func wholeFuncExempt() time.Time {
+	return time.Now()
+}
+
+func lineAbove() string {
+	//olive:wallclock reviewed: read once at init
+	return os.Getenv("HOME")
+}
+
+func spacedProse() time.Time {
+	// olive:wallclock — a space after // makes this prose, not a directive
+	return time.Now() // want `time.Now \(wall clock\)`
+}

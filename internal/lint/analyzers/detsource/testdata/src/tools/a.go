@@ -1,0 +1,7 @@
+// Package tools is out of scope for detsource: wall-clock reads are
+// unrestricted outside the deterministic packages.
+package tools
+
+import "time"
+
+func now() time.Time { return time.Now() }

@@ -1,0 +1,113 @@
+// Package errenvelope enforces the v1 API error contract in the serve
+// package: every non-2xx response body is emitted through the envelope
+// helpers (writeError / writeErrorRetry), which produce the stable
+//
+//	{"error": {"code": "...", "message": "...", "retry_after_ms": ...}}
+//
+// shape clients program against (PR 9's API redesign). Flagged inside
+// serve:
+//
+//   - http.Error — plain-text bodies bypass the envelope entirely;
+//   - w.WriteHeader(<constant ≥ 300>) outside the helpers — a handler
+//     setting an error status directly is about to write its own body
+//     (or none), both off-contract;
+//   - writeJSON with a constant non-2xx status and a non-envelope
+//     payload.
+//
+// Statuses computed at runtime are invisible to this check; the shape
+// regression tests in serve cover those. The analyzer keys on the
+// package's base name ("serve") so its fixtures can model the contract
+// without importing the real package.
+package errenvelope
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/olive-vne/olive/internal/lint/analysis"
+	"github.com/olive-vne/olive/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errenvelope",
+	Doc: "serve handlers must emit non-2xx bodies through the v1 error envelope " +
+		"helpers (writeError/writeErrorRetry), never http.Error or raw WriteHeader",
+	Run: run,
+}
+
+// envelopeHelpers are allowed to set error statuses: they are the
+// envelope implementation.
+var envelopeHelpers = map[string]bool{
+	"writeJSON": true, "writeError": true, "writeErrorRetry": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if lintutil.PathBase(pass.Pkg.Path()) != "serve" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inHelper := fd.Recv == nil && envelopeHelpers[fd.Name.Name]
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkCall(pass, call, inHelper)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, inHelper bool) {
+	info := pass.TypesInfo
+	fn := lintutil.CalleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+
+	// http.Error writes a text/plain body: never envelope-shaped.
+	sig, _ := fn.Type().(*types.Signature)
+	if lintutil.PkgPath(fn) == "net/http" && fn.Name() == "Error" && sig != nil && sig.Recv() == nil {
+		pass.Reportf(call.Pos(),
+			"http.Error bypasses the v1 error envelope; use writeError(w, status, code, ...)")
+		return
+	}
+
+	if inHelper {
+		return
+	}
+
+	// Direct WriteHeader with a constant error status.
+	if fn.Name() == "WriteHeader" && len(call.Args) == 1 {
+		if status, ok := lintutil.ConstInt(info, call.Args[0]); ok && status >= 300 {
+			pass.Reportf(call.Pos(),
+				"WriteHeader(%d) outside the envelope helpers: non-2xx responses must go through writeError/writeErrorRetry",
+				status)
+			return
+		}
+	}
+
+	// writeJSON with an error status and a payload that is not the
+	// envelope struct.
+	if fn.Name() == "writeJSON" && fn.Pkg() != nil && fn.Pkg().Path() == pass.Pkg.Path() && len(call.Args) >= 3 {
+		status, ok := lintutil.ConstInt(info, call.Args[1])
+		if !ok || status < 300 {
+			return
+		}
+		if tv, ok := info.Types[call.Args[2]]; ok {
+			if n := lintutil.NamedOf(tv.Type); n != nil && n.Obj().Name() == "errorResponse" {
+				return
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"writeJSON with status %d and a non-envelope payload: non-2xx bodies must be errorResponse via writeError/writeErrorRetry",
+			status)
+	}
+}

@@ -1,0 +1,12 @@
+package errenvelope_test
+
+import (
+	"testing"
+
+	"github.com/olive-vne/olive/internal/lint/analysistest"
+	"github.com/olive-vne/olive/internal/lint/analyzers/errenvelope"
+)
+
+func TestErrEnvelope(t *testing.T) {
+	analysistest.Run(t, "testdata", errenvelope.Analyzer, "serve", "other")
+}

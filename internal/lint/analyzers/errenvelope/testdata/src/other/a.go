@@ -1,0 +1,10 @@
+// Package other is out of scope: the envelope contract binds only the
+// serve package.
+package other
+
+import "net/http"
+
+func plainError(w http.ResponseWriter) {
+	http.Error(w, "fine here", http.StatusInternalServerError)
+	w.WriteHeader(http.StatusBadGateway)
+}

@@ -1,0 +1,47 @@
+// Package serve is a fixture stand-in for the real serve package (the
+// analyzer keys on the import-path base): it models the envelope
+// helpers and the handler mistakes the contract forbids.
+package serve
+
+import "net/http"
+
+type errorResponse struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.WriteHeader(status)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorResponse{Code: code, Message: msg})
+}
+
+func writeErrorRetry(w http.ResponseWriter, status int, code, msg string, retryMS int) {
+	writeJSON(w, status, errorResponse{Code: code, Message: msg})
+}
+
+type payload struct{ OK bool }
+
+func handleBad(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http.Error bypasses the v1 error envelope`
+}
+
+func handleRawHeader(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusTooManyRequests) // want `WriteHeader\(429\) outside the envelope helpers`
+}
+
+func handleBadPayload(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusBadRequest, payload{}) // want `writeJSON with status 400 and a non-envelope payload`
+}
+
+func handleOK(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	writeJSON(w, http.StatusOK, payload{OK: true})
+}
+
+func handleEnveloped(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusBadRequest, "bad_request", "malformed body")
+	writeJSON(w, http.StatusNotFound, errorResponse{Code: "not_found", Message: "no such plan"})
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"github.com/olive-vne/olive/internal/lint/analysistest"
+	"github.com/olive-vne/olive/internal/lint/analyzers/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "hotpath")
+}

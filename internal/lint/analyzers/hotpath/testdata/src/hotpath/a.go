@@ -1,0 +1,84 @@
+// Package fixtures exercises the hotpath analyzer: allocation-prone
+// constructs inside //olive:hotpath-annotated functions.
+package fixtures
+
+import "fmt"
+
+type Sink interface{ Consume(int) }
+
+type impl struct{ n int }
+
+func (i *impl) Consume(v int) { i.n += v }
+
+func take(s Sink)        { s.Consume(1) }
+func takeAny(v any)      { _ = v }
+func logv(vs ...any) int { return len(vs) }
+
+//olive:hotpath fixture
+func hotSprintf(id int) string {
+	return fmt.Sprintf("req-%d", id) // want `hot path hotSprintf calls fmt.Sprintf`
+}
+
+//olive:hotpath fixture
+func hotGrow(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `hot path hotGrow grows out from zero capacity`
+	}
+	return out
+}
+
+//olive:hotpath fixture
+func hotPresized(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+//olive:hotpath fixture
+func hotBox(s impl) {
+	takeAny(s) // want `hot path hotBox boxes hotpath\.impl into interface parameter`
+}
+
+//olive:hotpath fixture
+func hotVariadicBox(s impl) int {
+	return logv(1, s) // want `boxes int into interface parameter` `boxes hotpath\.impl into interface parameter`
+}
+
+// hotPointerArg: pointers are pointer-shaped; storing one in an
+// interface does not allocate.
+//
+//olive:hotpath fixture
+func hotPointerArg(s *impl) {
+	take(s)
+}
+
+//olive:hotpath fixture
+func hotConvert(s impl) any {
+	return any(s) // want `hot path hotConvert converts hotpath\.impl to interface`
+}
+
+//olive:hotpath fixture
+func hotClosure(xs []int) int {
+	total := 0
+	add := func(v int) { total += v } // want `hot path hotClosure creates a closure capturing \[total\]`
+	for _, x := range xs {
+		add(x)
+	}
+	return total
+}
+
+//olive:hotpath fixture
+func hotPureClosure() int {
+	f := func(v int) int { return v * 2 }
+	return f(21)
+}
+
+// coldSprintf is unannotated: the same constructs draw no findings.
+func coldSprintf(id int) string {
+	var out []int
+	out = append(out, id)
+	return fmt.Sprintf("req-%d", out[0])
+}

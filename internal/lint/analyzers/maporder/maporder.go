@@ -1,0 +1,238 @@
+// Package maporder flags `range` loops over maps whose bodies perform
+// an order-sensitive effect — exactly the bug class fixed by hand twice
+// in this repo's history (plan.Aggregate in PR 1, plan.BuildWindowed in
+// PR 2): Go map iteration order is randomized per run, so a loop that
+//
+//   - consumes a seeded rng (directly, or by passing it to a helper),
+//   - appends non-key values to a slice that outlives the loop, or
+//   - feeds a hash / fingerprint,
+//
+// inside a map range produces run-to-run-varying output even when every
+// input is seed-fixed. The fix is mechanical and is what the repo's
+// fixed sites do: collect the keys, sort them, and iterate the sorted
+// slice.
+//
+// The one idiom the analyzer exonerates is the accumulate-then-sort
+// half of that fix: a slice appended to under the loop and later
+// passed to a sort (sort.*, slices.Sort*, or any callee whose name
+// contains "sort") in the same function. The sort discharges the
+// iteration order — provided its comparator is total, which is the
+// reviewer's half of the contract.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/olive-vne/olive/internal/lint/analysis"
+	"github.com/olive-vne/olive/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags range-over-map loops that consume an rng, accumulate into a slice, " +
+		"or feed a hash: map iteration order is randomized, so such loops are " +
+		"nondeterministic run to run; iterate sorted keys instead",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, fd, rs)
+		return true
+	})
+}
+
+func checkMapRange(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, rs, n)
+		case *ast.AssignStmt:
+			checkAppend(pass, fd, rs, n)
+		}
+		return true
+	})
+}
+
+// checkCall flags rng consumption and hash feeding inside the loop
+// body.
+func checkCall(pass *analysis.Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if fn := lintutil.CalleeFunc(info, call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			// Classify by the receiver operand's type, not the method's
+			// declared receiver: hash.Hash64's Write is an embedded
+			// io.Writer method, and the declared receiver would place
+			// it in package io.
+			recv := sig.Recv().Type()
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if tv, ok := info.Types[sel.X]; ok && tv.Type != nil {
+					recv = tv.Type
+				}
+			}
+			if lintutil.IsRandRand(recv) {
+				pass.Reportf(call.Pos(),
+					"rng consumed inside range over map %s: map order is randomized, so the draw sequence varies run to run; iterate sorted keys",
+					exprString(rs.X))
+				return
+			}
+			if isHashType(recv) {
+				pass.Reportf(call.Pos(),
+					"hash fed inside range over map %s: map order is randomized, so the digest varies run to run; iterate sorted keys",
+					exprString(rs.X))
+				return
+			}
+		}
+	}
+	// An rng handed to a helper is consumed just the same — this is the
+	// exact shape of the original plan.Aggregate bug (BootstrapQuantile
+	// drew from the rng once per map entry).
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && lintutil.IsRandRand(tv.Type) {
+			pass.Reportf(call.Pos(),
+				"rng passed to %s inside range over map %s: the callee's draws follow map order, which is randomized; iterate sorted keys",
+				calleeName(call), exprString(rs.X))
+			return
+		}
+	}
+}
+
+// checkAppend flags `x = append(x, ...)` inside the loop when x
+// outlives the loop, unless it is the collect-keys-then-sort idiom.
+func checkAppend(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	info := pass.TypesInfo
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(info, call) || len(call.Args) == 0 {
+			continue
+		}
+		if i >= len(as.Lhs) && len(as.Lhs) != 1 {
+			continue
+		}
+		lhs := as.Lhs[min(i, len(as.Lhs)-1)]
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj == nil {
+			continue
+		}
+		// Appends to a slice declared inside the loop body never leak
+		// iteration order out of the loop.
+		if rs.Pos() <= obj.Pos() && obj.Pos() < rs.End() {
+			continue
+		}
+		// Collect-then-sort exoneration: whatever was accumulated, a
+		// subsequent sort of the slice discharges the iteration order
+		// (assuming a total comparator — spot-check that in review).
+		if sortedAfter(pass, fd, rs, obj) {
+			continue
+		}
+		pass.Reportf(as.Pos(),
+			"append to %s inside range over map %s accumulates in randomized map order; collect keys, sort them, then iterate",
+			id.Name, exprString(rs.X))
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sorting call after the
+// range loop, anywhere in the enclosing function.
+func sortedAfter(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	info := pass.TypesInfo
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return !found
+		}
+		if !isSortCall(info, call) {
+			return true
+		}
+		for _, a := range call.Args {
+			if aid, ok := ast.Unparen(a).(*ast.Ident); ok && info.Uses[aid] == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := lintutil.CalleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	switch lintutil.PkgPath(fn) {
+	case "sort", "slices":
+		return true
+	}
+	return strings.Contains(strings.ToLower(fn.Name()), "sort")
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isHashType reports whether t names a type from the hash or crypto
+// package trees (hash.Hash, fnv's digests, sha256 state, maphash.Hash,
+// ...): writing loop-dependent data into one inside a map range makes
+// the digest order-dependent.
+func isHashType(t types.Type) bool {
+	p := lintutil.TypePkgPath(t)
+	return p == "hash" || strings.HasPrefix(p, "hash/") || strings.HasPrefix(p, "crypto/")
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return "(expr)"
+}

@@ -1,0 +1,19 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"github.com/olive-vne/olive/internal/lint/analysistest"
+	"github.com/olive-vne/olive/internal/lint/analyzers/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "maporder")
+}
+
+// TestAggregateMutation is the required mutation check: the fixture
+// reintroduces the PR 1 plan.Aggregate map-order bug and the analyzer
+// must flag it (the `// want` in the fixture fails the test otherwise).
+func TestAggregateMutation(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "aggregate")
+}

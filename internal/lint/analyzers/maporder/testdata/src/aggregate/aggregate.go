@@ -1,0 +1,34 @@
+// Package aggregate is the mutation check: it reintroduces the exact
+// shape of the pre-fix plan.Aggregate bug (PR 1) — bootstrap confidence
+// intervals drawn while ranging over the per-cell diff map, so the
+// rng's draw sequence (and thus the CI bounds) depended on map
+// iteration order. maporder must catch it.
+package aggregate
+
+import "math/rand/v2"
+
+func bootstrapQuantile(series []float64, alpha float64, b int, rng *rand.Rand) (float64, float64) {
+	lo, hi := series[0], series[0]
+	for i := 0; i < b; i++ {
+		v := series[rng.IntN(len(series))]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	_ = alpha
+	return lo, hi
+}
+
+type interval struct{ Lo, Hi float64 }
+
+func aggregateMutant(diffs map[string][]float64, alpha float64, rng *rand.Rand) map[string]interval {
+	out := make(map[string]interval, len(diffs))
+	for k, series := range diffs {
+		lo, hi := bootstrapQuantile(series, alpha, 200, rng) // want `rng passed to bootstrapQuantile inside range over map diffs`
+		out[k] = interval{Lo: lo, Hi: hi}
+	}
+	return out
+}

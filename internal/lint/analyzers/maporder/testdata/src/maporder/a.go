@@ -1,0 +1,75 @@
+// Package fixtures exercises the maporder analyzer: order-sensitive
+// consumption inside range-over-map, and the idioms that discharge it.
+package fixtures
+
+import (
+	"hash/fnv"
+	"math/rand/v2"
+	"sort"
+)
+
+func consume(r *rand.Rand) float64 { return r.Float64() }
+
+func rngMethodInRange(m map[string]int, rng *rand.Rand) float64 {
+	total := 0.0
+	for range m {
+		total += rng.Float64() // want `rng consumed inside range over map m`
+	}
+	return total
+}
+
+func rngPassedToHelper(m map[string]int, rng *rand.Rand) float64 {
+	total := 0.0
+	for range m {
+		total += consume(rng) // want `rng passed to consume inside range over map m`
+	}
+	return total
+}
+
+func hashFed(m map[string][]byte) uint64 {
+	h := fnv.New64a()
+	for _, v := range m {
+		h.Write(v) // want `hash fed inside range over map m`
+	}
+	return h.Sum64()
+}
+
+func appendEscapes(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside range over map m`
+	}
+	return keys
+}
+
+// collectThenSort is the canonical fix: the sort after the loop
+// discharges the iteration order.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// localAppend's slice is declared inside the loop body, so no
+// iteration order leaks out of the loop.
+func localAppend(m map[string]int) int {
+	n := 0
+	for k := range m {
+		parts := []byte(k)
+		parts = append(parts, '!')
+		n += len(parts)
+	}
+	return n
+}
+
+// rangeOverSlice is ordered iteration; consuming the rng is fine.
+func rangeOverSlice(s []int, rng *rand.Rand) float64 {
+	total := 0.0
+	for range s {
+		total += rng.Float64()
+	}
+	return total
+}

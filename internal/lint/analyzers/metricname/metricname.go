@@ -1,0 +1,184 @@
+// Package metricname enforces the repo's metric-family conventions
+// (CONTRIBUTING.md "Metric families") at the registration call sites —
+// every `(*obs.Registry).Counter/Gauge/Histogram/...` call:
+//
+//   - the family name is a compile-time string constant (a computed
+//     name defeats every other check and grep);
+//   - names match `vne_<noun>_<suffix>` in snake_case;
+//   - counters (Counter, CounterVec, CounterFunc, CounterFuncVec) end
+//     in `_total`; nothing else may;
+//   - histograms end in a unit suffix (`_seconds`, `_bytes`, `_ratio`);
+//   - label names are snake_case, at most four per family, and never
+//     from the unbounded-cardinality set (request/client IDs,
+//     addresses, paths): label values are a memory commitment, and a
+//     per-request label is a leak.
+package metricname
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/olive-vne/olive/internal/lint/analysis"
+	"github.com/olive-vne/olive/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "checks obs.Registry registrations: constant vne_-prefixed snake_case names, " +
+		"_total on counters, unit suffixes on histograms, bounded snake_case labels",
+	Run: run,
+}
+
+// counterKinds lists the registration methods whose families are
+// counters, histogramKinds the histograms; everything else registered
+// through the matched methods is a gauge.
+var (
+	registerKinds = map[string]bool{
+		"Counter": true, "Gauge": true, "Histogram": true,
+		"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+		"CounterFunc": true, "GaugeFunc": true,
+		"CounterFuncVec": true, "GaugeFuncVec": true,
+	}
+	counterKinds = map[string]bool{
+		"Counter": true, "CounterVec": true, "CounterFunc": true, "CounterFuncVec": true,
+	}
+	histogramKinds = map[string]bool{"Histogram": true, "HistogramVec": true}
+
+	nameRE  = regexp.MustCompile(`^vne_[a-z0-9]+(_[a-z0-9]+)*$`)
+	labelRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+	// unitSuffixes are the accepted histogram units.
+	unitSuffixes = []string{"_seconds", "_bytes", "_ratio"}
+
+	// unboundedLabels name per-request/per-client identity: open sets
+	// whose series count grows with traffic. "path" is deliberately
+	// absent: this repo's path labels are route patterns and code
+	// paths (closed sets), not raw URLs — those are caught as "url".
+	unboundedLabels = map[string]bool{
+		"id": true, "request_id": true, "client": true, "client_id": true,
+		"addr": true, "address": true, "remote_addr": true,
+		"url": true, "ip": true, "user": true, "uuid": true,
+	}
+
+	maxLabels = 4
+)
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, ok := registryMethod(pass.TypesInfo, call)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		checkRegistration(pass, call, kind)
+		return true
+	})
+	return nil
+}
+
+// registryMethod reports whether call invokes a family-registration
+// method on a *Registry from an obs package, and which one.
+func registryMethod(info *types.Info, call *ast.CallExpr) (kind string, ok bool) {
+	fn := lintutil.CalleeFunc(info, call)
+	if fn == nil || !registerKinds[fn.Name()] {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	named := lintutil.NamedOf(sig.Recv().Type())
+	if named == nil || named.Obj().Name() != "Registry" {
+		return "", false
+	}
+	if lintutil.PathBase(lintutil.TypePkgPath(sig.Recv().Type())) != "obs" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+func checkRegistration(pass *analysis.Pass, call *ast.CallExpr, kind string) {
+	info := pass.TypesInfo
+
+	name, isConst := lintutil.ConstString(info, call.Args[0])
+	if !isConst {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric family name must be a compile-time string constant (got a computed value)")
+		return
+	}
+	switch {
+	case !nameRE.MatchString(name):
+		pass.Reportf(call.Args[0].Pos(),
+			"metric family %q must match vne_<noun>_<suffix> in snake_case (%s)", name, nameRE)
+	case counterKinds[kind] && !strings.HasSuffix(name, "_total"):
+		pass.Reportf(call.Args[0].Pos(),
+			"counter family %q must end in _total", name)
+	case !counterKinds[kind] && strings.HasSuffix(name, "_total"):
+		pass.Reportf(call.Args[0].Pos(),
+			"%s family %q must not end in _total (reserved for counters)", strings.ToLower(kind), name)
+	case histogramKinds[kind] && !hasUnitSuffix(name):
+		pass.Reportf(call.Args[0].Pos(),
+			"histogram family %q must end in a unit suffix (%s)", name, strings.Join(unitSuffixes, ", "))
+	}
+
+	// Help string: the second argument everywhere.
+	if len(call.Args) > 1 {
+		if help, ok := lintutil.ConstString(info, call.Args[1]); ok && strings.TrimSpace(help) == "" {
+			pass.Reportf(call.Args[1].Pos(), "metric family %q has an empty help string", name)
+		}
+	}
+
+	labels := labelArgs(call, kind)
+	if len(labels) > maxLabels {
+		pass.Reportf(call.Pos(),
+			"metric family %q declares %d labels (max %d): every label multiplies the series count",
+			name, len(labels), maxLabels)
+	}
+	for _, l := range labels {
+		lv, ok := lintutil.ConstString(info, l)
+		if !ok {
+			pass.Reportf(l.Pos(), "metric family %q: label names must be compile-time string constants", name)
+			continue
+		}
+		if !labelRE.MatchString(lv) {
+			pass.Reportf(l.Pos(), "metric family %q: label %q must be snake_case (%s)", name, lv, labelRE)
+		}
+		if unboundedLabels[lv] {
+			pass.Reportf(l.Pos(),
+				"metric family %q: label %q names an unbounded set (per-request/per-client identity); label values must come from a small closed set",
+				name, lv)
+		}
+	}
+}
+
+// labelArgs returns the label-name argument expressions of a
+// registration call: the trailing variadic strings of the Vec forms.
+func labelArgs(call *ast.CallExpr, kind string) []ast.Expr {
+	var fixed int
+	switch kind {
+	case "CounterVec", "GaugeVec", "GaugeFuncVec", "CounterFuncVec":
+		fixed = 2 // name, help, labels...
+	case "HistogramVec":
+		fixed = 3 // name, help, buckets, labels...
+	default:
+		return nil
+	}
+	if len(call.Args) <= fixed || call.Ellipsis.IsValid() {
+		return nil
+	}
+	return call.Args[fixed:]
+}
+
+func hasUnitSuffix(name string) bool {
+	for _, s := range unitSuffixes {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"github.com/olive-vne/olive/internal/lint/analysistest"
+	"github.com/olive-vne/olive/internal/lint/analyzers/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, "testdata", metricname.Analyzer, "metrics")
+}

@@ -1,0 +1,34 @@
+// Package metrics exercises the metricname analyzer against the obs
+// fixture stub.
+package metrics
+
+import "obs"
+
+func registerGood(r *obs.Registry) {
+	r.Counter("vne_requests_total", "requests served")
+	r.CounterVec("vne_http_requests_total", "requests by route", "path", "code")
+	r.Histogram("vne_solve_seconds", "solve latency", nil)
+	r.GaugeFunc("vne_queue_depth", "queued jobs", func() float64 { return 0 })
+}
+
+func registerBad(r *obs.Registry, dynamic string) {
+	r.Counter("requests_total", "no prefix")                            // want `must match vne_`
+	r.Counter("vne_requests", "missing _total")                         // want `must end in _total`
+	r.Gauge("vne_depth_total", "gauge with total")                      // want `must not end in _total`
+	r.Histogram("vne_solve", "no unit", nil)                            // want `must end in a unit suffix`
+	r.Counter(dynamic, "computed name")                                 // want `must be a compile-time string constant`
+	r.Counter("vne_empty_help_total", "")                               // want `empty help string`
+	r.CounterVec("vne_by_client_total", "per client", "client_id")      // want `names an unbounded set`
+	r.GaugeVec("vne_width", "too many labels", "a", "b", "c", "d", "e") // want `declares 5 labels`
+	r.CounterVec("vne_bad_label_total", "label case", "Path")           // want `must be snake_case`
+	r.HistogramVec("vne_latency_seconds", "latency", nil, "request_id") // want `names an unbounded set`
+}
+
+// notTheRegistry: same method name on a local type draws nothing.
+type fake struct{}
+
+func (f fake) Counter(name, help string) {}
+
+func registerFake() {
+	fake{}.Counter("whatever", "not a metric registry")
+}

@@ -1,0 +1,40 @@
+// Package obs is a fixture stub of the real metrics registry: the
+// metricname analyzer matches the registration methods of any
+// *Registry whose package's import-path base is "obs", so this stub
+// stands in for internal/obs without the dependency.
+package obs
+
+type (
+	Registry       struct{}
+	Counter        struct{}
+	Gauge          struct{}
+	Histogram      struct{}
+	CounterVec     struct{}
+	GaugeVec       struct{}
+	HistogramVec   struct{}
+	GaugeFuncVec   struct{}
+	CounterFuncVec struct{}
+)
+
+func (r *Registry) Counter(name, help string) Counter { return Counter{} }
+func (r *Registry) Gauge(name, help string) Gauge     { return Gauge{} }
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return nil
+}
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return nil
+}
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return nil
+}
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return nil
+}
+func (r *Registry) GaugeFunc(name, help string, fn func() float64)   {}
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {}
+func (r *Registry) GaugeFuncVec(name, help string, labelNames ...string) *GaugeFuncVec {
+	return nil
+}
+func (r *Registry) CounterFuncVec(name, help string, labelNames ...string) *CounterFuncVec {
+	return nil
+}

@@ -1,0 +1,122 @@
+// Package directive parses olivelint's comment directives.
+//
+// Two directives exist, both following the Go toolchain's directive
+// syntax (`//olive:name args...` — no space between `//` and `olive:`,
+// line comments only):
+//
+//	//olive:hotpath   marks a function whose body the hotpath analyzer
+//	                  checks for allocation-prone constructs. Valid on
+//	                  the doc comment (or the line directly above) of a
+//	                  function or method declaration.
+//
+//	//olive:wallclock marks a reviewed, legitimate use of wall-clock
+//	                  time, the global rand source, or the environment
+//	                  inside a deterministic package. Valid on a
+//	                  function declaration (exempts the whole body) or
+//	                  on the flagged statement's own line / the line
+//	                  directly above it.
+//
+// Anything after the directive name is free-form rationale and is
+// ignored by the checkers (but read by humans; write one).
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Names of the known directives.
+const (
+	HotPath   = "hotpath"
+	WallClock = "wallclock"
+)
+
+// A Set holds every olive directive found in a group of files, indexed
+// for the two lookups analyzers need: "does this function declaration
+// carry directive X" and "is there a directive X on or directly above
+// this line".
+type Set struct {
+	fset *token.FileSet
+	// byLine maps (filename, line) -> directive names present there.
+	byLine map[lineKey]map[string]bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// ParseFiles scans the comments of files for olive directives.
+func ParseFiles(fset *token.FileSet, files []*ast.File) *Set {
+	s := &Set{fset: fset, byLine: make(map[lineKey]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseComment(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := lineKey{pos.Filename, pos.Line}
+				if s.byLine[k] == nil {
+					s.byLine[k] = make(map[string]bool)
+				}
+				s.byLine[k][name] = true
+			}
+		}
+	}
+	return s
+}
+
+// parseComment extracts the directive name from one comment's text, or
+// returns ok=false. Per Go directive convention only line comments with
+// no space after `//` count; `/* olive:... */` and `// olive:...` are
+// ordinary prose.
+func parseComment(text string) (name string, ok bool) {
+	if !strings.HasPrefix(text, "//olive:") {
+		return "", false
+	}
+	rest := text[len("//olive:"):]
+	// The name runs to the first space; trailing text is rationale.
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "", false
+	}
+	return rest, true
+}
+
+// Func reports whether decl carries the named directive: in its doc
+// comment group, or on the line directly above the declaration (the
+// doc group normally subsumes that line; the explicit check covers a
+// directive separated from prose by nothing but its position).
+func (s *Set) Func(decl *ast.FuncDecl, name string) bool {
+	if decl == nil {
+		return false
+	}
+	if decl.Doc != nil {
+		for _, c := range decl.Doc.List {
+			if n, ok := parseComment(c.Text); ok && n == name {
+				return true
+			}
+		}
+	}
+	// A directive directly above the declaration line (e.g. below a
+	// detached doc comment) also binds. A blank line in between breaks
+	// the association, exactly like Go build constraints: the directive
+	// must sit on declLine-1.
+	pos := s.fset.Position(decl.Pos())
+	return s.byLine[lineKey{pos.Filename, pos.Line - 1}][name]
+}
+
+// Line reports whether the named directive is present on pos's own
+// line (trailing comment) or on the line directly above it.
+func (s *Set) Line(pos token.Pos, name string) bool {
+	p := s.fset.Position(pos)
+	if s.byLine[lineKey{p.Filename, p.Line}][name] {
+		return true
+	}
+	return s.byLine[lineKey{p.Filename, p.Line - 1}][name]
+}

@@ -1,0 +1,165 @@
+package directive
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parse typechecks nothing: directive attachment is purely syntactic.
+func parse(t *testing.T, src string) (*token.FileSet, *ast.File, *Set) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f, ParseFiles(fset, []*ast.File{f})
+}
+
+// funcDecl finds the named function or method declaration.
+func funcDecl(t *testing.T, f *ast.File, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("no function %s in fixture", name)
+	return nil
+}
+
+func TestFuncAttachment(t *testing.T) {
+	src := `package p
+
+//olive:hotpath plain function
+func Plain() {}
+
+// Doc prose first.
+//
+//olive:hotpath after prose, gofmt-separated
+func AfterProse() {}
+
+//olive:hotpath on a method
+func (r *Recv) Method() {}
+
+//olive:hotpath on a generic function
+func Generic[T any](v T) T { return v }
+
+//olive:hotpath wrong name checked below
+func WrongName() {}
+
+//olive:hotpath detached by a blank line
+
+func Detached() {}
+
+// olive:hotpath space after the slashes makes this prose
+func SpacedProse() {}
+
+/*olive:hotpath block comments are never directives*/
+func BlockComment() {}
+
+//olive:
+func EmptyName() {}
+
+func Bare() {}
+
+type Recv struct{}
+`
+	_, f, set := parse(t, src)
+
+	for _, tc := range []struct {
+		fn   string
+		name string
+		want bool
+	}{
+		{"Plain", HotPath, true},
+		{"AfterProse", HotPath, true},
+		{"Method", HotPath, true},
+		{"Generic", HotPath, true},
+		{"WrongName", WallClock, false}, // carries hotpath, asked for wallclock
+		{"Detached", HotPath, false},    // blank line breaks the association
+		{"SpacedProse", HotPath, false},
+		{"BlockComment", HotPath, false},
+		{"EmptyName", HotPath, false},
+		{"Bare", HotPath, false},
+	} {
+		if got := set.Func(funcDecl(t, f, tc.fn), tc.name); got != tc.want {
+			t.Errorf("Func(%s, %q) = %v, want %v", tc.fn, tc.name, got, tc.want)
+		}
+	}
+
+	if set.Func(nil, HotPath) {
+		t.Error("Func(nil) = true, want false")
+	}
+}
+
+// TestLineAttachment covers the statement-level lookup detsource uses:
+// a directive binds to its own line (trailing comment) and to the line
+// directly below it — including call sites buried in nested closures,
+// where no declaration-based attachment exists.
+func TestLineAttachment(t *testing.T) {
+	src := `package p
+
+func Outer() func() func() int {
+	return func() func() int {
+		return func() int {
+			a := probe() //olive:wallclock trailing, nested two closures deep
+			//olive:wallclock line above, nested
+			b := probe()
+			c := probe()
+			return a + b + c
+		}
+	}
+}
+
+func probe() int { return 0 }
+`
+	fset, f, set := parse(t, src)
+
+	// Collect the probe() call positions in source order.
+	var calls []token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "probe" {
+				calls = append(calls, c.Pos())
+			}
+		}
+		return true
+	})
+	if len(calls) != 3 {
+		t.Fatalf("found %d probe() calls, want 3", len(calls))
+	}
+	for i, want := range []bool{true, true, false} {
+		if got := set.Line(calls[i], WallClock); got != want {
+			p := fset.Position(calls[i])
+			t.Errorf("Line(call %d at line %d, wallclock) = %v, want %v", i, p.Line, got, want)
+		}
+	}
+	if set.Line(calls[0], HotPath) {
+		t.Error("Line(call 0, hotpath) = true, want false: wrong directive name")
+	}
+}
+
+func TestParseComment(t *testing.T) {
+	for _, tc := range []struct {
+		text string
+		name string
+		ok   bool
+	}{
+		{"//olive:hotpath", "hotpath", true},
+		{"//olive:hotpath with a rationale", "hotpath", true},
+		{"//olive:wallclock\ttab rationale", "wallclock", true},
+		{"// olive:hotpath", "", false},
+		{"/*olive:hotpath*/", "", false},
+		{"//olive:", "", false},
+		{"//go:noinline", "", false},
+		{"// plain prose", "", false},
+	} {
+		name, ok := parseComment(tc.text)
+		if name != tc.name || ok != tc.ok {
+			t.Errorf("parseComment(%q) = (%q, %v), want (%q, %v)", tc.text, name, ok, tc.name, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package lintutil holds the small go/types helpers shared by the
+// olivelint analyzers.
+package lintutil
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// CalleeFunc resolves the function or method a call expression invokes,
+// or nil when the callee is not a named function (builtins, conversions,
+// calls of function-typed values). Generic instantiations resolve to
+// their origin.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		return CalleeFunc(info, &ast.CallExpr{Fun: fun.X})
+	case *ast.IndexListExpr:
+		return CalleeFunc(info, &ast.CallExpr{Fun: fun.X})
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// PkgPath returns the import path of the package fn belongs to, or ""
+// for builtins and nil.
+func PkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// PathBase returns the last element of an import path ("a/b/c" -> "c").
+func PathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// ConstString returns the compile-time string value of expr, if it has
+// one.
+func ConstString(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// ConstInt returns the compile-time integer value of expr, if it has
+// one.
+func ConstInt(info *types.Info, expr ast.Expr) (int64, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	return v, ok
+}
+
+// NamedOf unwraps pointers and aliases down to the named type of t, or
+// nil.
+func NamedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(t)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// TypePkgPath returns the import path of t's named (or pointer-to-named)
+// type's package, or "".
+func TypePkgPath(t types.Type) string {
+	n := NamedOf(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path()
+}
+
+// IsRandRand reports whether t is *math/rand.Rand or *math/rand/v2.Rand
+// (or the value form).
+func IsRandRand(t types.Type) bool {
+	n := NamedOf(t)
+	if n == nil || n.Obj() == nil || n.Obj().Name() != "Rand" {
+		return false
+	}
+	p := TypePkgPath(t)
+	return p == "math/rand" || p == "math/rand/v2"
+}
+
+// PointerShaped reports whether boxing a value of type t into an
+// interface stores the value directly in the interface word — i.e. no
+// allocation. Everything else (basic values, structs, arrays, slices,
+// strings, interfaces-as-data) escapes to the heap when boxed.
+func PointerShaped(t types.Type) bool {
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,163 @@
+// Package load turns `go list` patterns into type-checked packages for
+// olivelint's standalone driver, using nothing outside the standard
+// library and the go command itself.
+//
+// The x/tools loader (go/packages) is unavailable in this repo's
+// offline build environment, so load re-derives the essentials:
+// `go list -export -deps -json` enumerates the target packages plus a
+// compiled export-data file for every dependency (the go command builds
+// these into its cache as needed, fully offline), and go/types checks
+// each target's parsed sources against an importer that reads that
+// export data. Test files are not loaded: olivelint's invariants are
+// about production code, and seeded rngs or wall-clock reads in _test.go
+// files are routine.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output load consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Name       string
+}
+
+// Load lists patterns in dir (a directory inside the module), builds
+// export data for all dependencies, and returns the matched packages
+// parsed and type-checked. Packages with no non-test Go files are
+// skipped.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Name",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string)
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, func(path string) (string, bool) {
+		e, ok := exports[path]
+		return e, ok
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := Check(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// ExportImporter returns a go/types importer that resolves import
+// paths through find, which maps an import path to a compiled
+// export-data file (as produced by `go list -export` or recorded in a
+// vet config's PackageFile map).
+func ExportImporter(fset *token.FileSet, find func(path string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := find(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// Check parses files (names relative to dir) and type-checks them as
+// one package, resolving imports through imp.
+func Check(fset *token.FileSet, imp types.Importer, importPath, dir string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", importPath, err)
+		}
+		syntax = append(syntax, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: typecheck: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      syntax,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// NewInfo allocates the types.Info maps every analyzer pass relies on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

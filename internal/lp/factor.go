@@ -406,6 +406,8 @@ func rowSub(a *arena[spEntry], dst, src []spEntry, f float64, skip int, colRows 
 
 // ftranCol solves B·w = a for a sparse column a, leaving w (length m,
 // basis-position space) fully overwritten.
+//
+//olive:hotpath inner simplex kernel
 func (lu *basisLU) ftranCol(col []Entry, w []float64) {
 	y := lu.ywork
 	for i := range y {
@@ -419,6 +421,8 @@ func (lu *basisLU) ftranCol(col []Entry, w []float64) {
 
 // ftranDense solves B·w = rhs for a dense right-hand side in matrix-row
 // space. rhs is not modified.
+//
+//olive:hotpath inner simplex kernel
 func (lu *basisLU) ftranDense(rhs []float64, w []float64) {
 	copy(lu.ywork, rhs)
 	lu.ftranWork(w)
@@ -426,6 +430,8 @@ func (lu *basisLU) ftranDense(rhs []float64, w []float64) {
 
 // ftranWork completes an FTRAN whose right-hand side has been loaded
 // into ywork: L solve, U back-substitution, permutation, eta file.
+//
+//olive:hotpath inner simplex kernel
 func (lu *basisLU) ftranWork(w []float64) {
 	y, z := lu.ywork, lu.zwork
 	m := lu.m
@@ -467,6 +473,8 @@ func (lu *basisLU) ftranWork(w []float64) {
 // btran solves Bᵀ·y = c for c in basis-position space (c[i] pairs with
 // the basis column at position i), leaving y in matrix-row space. c is
 // not modified.
+//
+//olive:hotpath inner simplex kernel
 func (lu *basisLU) btran(c []float64, y []float64) {
 	if lu.ftLive {
 		lu.btranU(c, y)

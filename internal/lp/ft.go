@@ -219,6 +219,8 @@ func (lu *basisLU) ftApplyEtasT(y []float64) {
 // ftranU completes an FT-mode FTRAN: row etas, then the mutable-U back
 // substitution, reading the right-hand side from ywork (matrix-row
 // space) like ftranWork does.
+//
+//olive:hotpath FT-mode simplex kernel
 func (lu *basisLU) ftranU(w []float64) {
 	y, z := lu.ywork, lu.zwork
 	lu.ftApplyEtas(y)
@@ -236,6 +238,8 @@ func (lu *basisLU) ftranU(w []float64) {
 
 // btranU runs the FT-mode BTRAN counterpart: Uᵀ solve in current step
 // space, transposed row etas in reverse, then the frozen Lᵀ solve.
+//
+//olive:hotpath FT-mode simplex kernel
 func (lu *basisLU) btranU(c []float64, y []float64) {
 	m := lu.m
 	v, yr := lu.zwork, lu.swork

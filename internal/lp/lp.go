@@ -108,7 +108,7 @@ type Problem struct {
 var ftDefault atomic.Bool
 
 func init() {
-	if os.Getenv("OLIVE_LP_FT") == "1" {
+	if os.Getenv("OLIVE_LP_FT") == "1" { //olive:wallclock ablation knob, read once at init; documented in CONTRIBUTING
 		ftDefault.Store(true)
 	}
 }

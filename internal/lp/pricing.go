@@ -59,7 +59,7 @@ func (r PricingRule) String() string {
 var pricingDefault atomic.Int32
 
 func init() {
-	if os.Getenv("OLIVE_LP_PRICING") == "dantzig" {
+	if os.Getenv("OLIVE_LP_PRICING") == "dantzig" { //olive:wallclock ablation knob, read once at init; documented in CONTRIBUTING
 		pricingDefault.Store(int32(PricingDantzig))
 	}
 }

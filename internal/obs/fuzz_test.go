@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzObsParseText fuzzes the exposition-format checker the e2e jobs
+// and vneload -check rely on. Properties:
+//
+//   - ParseText and Lint never panic, whatever the scrape bytes (the
+//     checker points at live servers; a hostile or truncated scrape
+//     must come back as an error).
+//   - ParseText is deterministic: the same bytes parse to the same
+//     family set.
+//   - Lint composes with ParseText: anything Lint accepts, ParseText
+//     accepted with the identical families.
+func FuzzObsParseText(f *testing.F) {
+	// Seed: a real exposition rendered by the registry itself.
+	r := NewRegistry()
+	r.Counter("vne_requests_total", "requests served").Add(42)
+	r.Gauge("vne_queue_depth", "queued jobs").Set(3)
+	r.Histogram("vne_solve_seconds", "solve latency", []float64{0.001, 0.01, 0.1}).Observe(0.004)
+	r.CounterVec("vne_http_requests_total", "requests by route", "path", "code").
+		With("/v1/embed", "200").Add(7)
+	f.Add(r.Render())
+
+	// Seeds: hand-written valid and near-valid scrapes.
+	for _, s := range []string{
+		"",
+		"# HELP vne_x_total help text\n# TYPE vne_x_total counter\nvne_x_total 1\n",
+		"# TYPE vne_depth gauge\nvne_depth{shard=\"0\"} 3\n",
+		"# TYPE vne_lat_seconds histogram\n" +
+			"vne_lat_seconds_bucket{le=\"0.1\"} 1\n" +
+			"vne_lat_seconds_bucket{le=\"+Inf\"} 2\n" +
+			"vne_lat_seconds_sum 0.3\nvne_lat_seconds_count 2\n",
+		"vne_orphan 1\n",
+		"# TYPE broken\n",
+		"# HELP\n",
+		"vne_x{label=\"unterminated} 1\n",
+		"vne_x{=\"\"} 1\n",
+		"vne_x NaN\n",
+		"vne_x 1e309\n",
+		"vne_x 1 2 3\n",
+		"{} 1\n",
+	} {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, text string) {
+		fams, err := ParseText(strings.NewReader(text))
+		if err != nil {
+			// Rejected scrapes must also be rejected (not panic on) by
+			// the stricter checker.
+			if _, lerr := Lint(strings.NewReader(text)); lerr == nil {
+				t.Fatalf("ParseText rejected (%v) but Lint accepted", err)
+			}
+			return
+		}
+		again, err := ParseText(strings.NewReader(text))
+		if err != nil || len(again) != len(fams) {
+			t.Fatalf("ParseText not deterministic: first %d families, then %d (err=%v)",
+				len(fams), len(again), err)
+		}
+		linted, err := Lint(strings.NewReader(text))
+		if err != nil {
+			return // stricter checks may reject what the parser accepts
+		}
+		if len(linted) != len(fams) {
+			t.Fatalf("Lint returned %d families, ParseText %d", len(linted), len(fams))
+		}
+	})
+}

@@ -48,7 +48,7 @@ func (r *TextReporter) Start(total, cached int) {
 	r.ran = 0
 	r.cached = cached
 	r.failed = 0
-	r.started = time.Now()
+	r.started = time.Now() //olive:wallclock progress/ETA reporting only
 	if cached > 0 {
 		fmt.Fprintf(r.W, "runner: %d jobs (%d cached)\n", total, cached)
 	} else {
@@ -69,7 +69,7 @@ func (r *TextReporter) Done(label string, elapsed time.Duration, err error) {
 	}
 	line := fmt.Sprintf("runner: [%d/%d] %s %s (%.2fs)", r.done, r.total, status, label, elapsed.Seconds())
 	if remaining := r.total - r.done; remaining > 0 && r.ran > 0 {
-		eta := time.Since(r.started) / time.Duration(r.ran) * time.Duration(remaining)
+		eta := time.Since(r.started) / time.Duration(r.ran) * time.Duration(remaining) //olive:wallclock progress/ETA reporting only
 		line += fmt.Sprintf(" eta %s", eta.Round(time.Second))
 	}
 	fmt.Fprintln(r.W, line)

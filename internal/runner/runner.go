@@ -110,10 +110,10 @@ func All[T any](ctx context.Context, jobs []Job[T], opts Options) ([]Outcome[T],
 		pending = append(pending, i)
 	}
 
-	started := time.Now()
+	started := time.Now() //olive:wallclock progress/ETA reporting only, never in artifacts
 	if opts.Reporter != nil {
 		opts.Reporter.Start(len(jobs), len(jobs)-len(pending))
-		defer func() { opts.Reporter.Finish(time.Since(started)) }()
+		defer func() { opts.Reporter.Finish(time.Since(started)) }() //olive:wallclock progress/ETA reporting only
 	}
 	if len(pending) == 0 {
 		return out, ctx.Err()
@@ -157,9 +157,10 @@ func All[T any](ctx context.Context, jobs []Job[T], opts Options) ([]Outcome[T],
 					return
 				}
 				o := &out[idx]
-				t0 := time.Now()
+				t0 := time.Now() //olive:wallclock per-cell Elapsed is diagnostic; goldens exclude runtime columns
 				o.Value, o.Err = protect(cctx, jobs[idx])
-				o.Elapsed = time.Since(t0)
+				o.Elapsed = time.Since(t0) //olive:wallclock diagnostic timing
+
 				if o.Err == nil && opts.Store != nil {
 					o.Err = opts.Store.Put(o.Key, o.Value)
 				}

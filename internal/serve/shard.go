@@ -200,6 +200,7 @@ func (sh *shard) handle(o op) {
 	sh.refreshGauges()
 }
 
+//olive:hotpath per-request serve path; allocs guarded by BenchmarkServeEmbedWithMetrics
 func (sh *shard) handleEmbed(o op) {
 	if sh.hook != nil {
 		sh.hook(sh.idx)

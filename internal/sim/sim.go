@@ -284,7 +284,7 @@ func Run(cfg Config) (*RunResult, error) {
 		}
 	}
 	if needPlan {
-		t0 := time.Now()
+		t0 := time.Now() //olive:wallclock PlanTime runtime column; goldens exclude it
 		if cfg.PlanWindows > 1 {
 			period := cfg.DiurnalPeriod
 			if period <= 0 || period > planHist.Slots {
@@ -303,7 +303,7 @@ func Run(cfg Config) (*RunResult, error) {
 			}
 			res.Plan = p
 		}
-		res.PlanTime = time.Since(t0)
+		res.PlanTime = time.Since(t0) //olive:wallclock runtime column
 	}
 
 	psi := make([]float64, len(apps))
@@ -371,7 +371,7 @@ func runAlgorithm(cfg Config, g *graph.Graph, apps []*vnet.App, oracle *embedder
 	var gone []int
 	var running float64 // Σ contrib over active requests
 
-	t0 := time.Now()
+	t0 := time.Now() //olive:wallclock Runtime column; goldens exclude it
 	curWindow := -1
 	if wp != nil && algo == core.AlgoOLIVE {
 		curWindow = wp.WindowOf(cfg.HistSlots)
@@ -428,7 +428,7 @@ func runAlgorithm(cfg Config, g *graph.Graph, apps []*vnet.App, oracle *embedder
 		}
 		ar.ResourceCost += running
 	}
-	ar.Runtime = time.Since(t0)
+	ar.Runtime = time.Since(t0) //olive:wallclock runtime column
 
 	finalizeMetrics(cfg, g, apps, psi, ar)
 	return ar, nil
@@ -442,7 +442,7 @@ func runSlotOff(cfg Config, g *graph.Graph, apps []*vnet.App, oracle *embedder.O
 		return err
 	}
 	logIdxOf := make(map[int]int)
-	t0 := time.Now()
+	t0 := time.Now() //olive:wallclock Runtime column; goldens exclude it
 	for t := range slots {
 		for _, r := range slots[t] {
 			ar.PerSlotRequested[t] += r.Demand
@@ -472,7 +472,7 @@ func runSlotOff(cfg Config, g *graph.Graph, apps []*vnet.App, oracle *embedder.O
 		}
 		ar.ResourceCost += res.ResourceCost
 	}
-	ar.Runtime = time.Since(t0)
+	ar.Runtime = time.Since(t0) //olive:wallclock runtime column
 	finalizeMetrics(cfg, g, apps, psi, ar)
 	return nil
 }
